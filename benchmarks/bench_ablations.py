@@ -1,0 +1,99 @@
+"""Ablations — the design choices of DESIGN.md §6 / paper §6.
+
+Sweeps the load-balancing frequency (the paper's "neither too high nor
+too low"), the trigger threshold, the migration accuracy ("coarse load
+balancing with less data migration" on slow networks), the famine
+threshold, the load estimator (§5.2's residual argument) and the
+convergence-detection protocol (zero-cost oracle vs the practical
+decentralized token ring).
+"""
+
+from conftest import save_report
+
+from repro.experiments.ablations import (
+    compare_adaptive_period,
+    compare_detection_protocols,
+    compare_skip_optimisation,
+    sweep_accuracy,
+    sweep_estimator,
+    sweep_lb_period,
+    sweep_min_components,
+    sweep_threshold_ratio,
+)
+
+
+def test_ablation_lb_period(once):
+    result = once(sweep_lb_period)
+    save_report("ablation_lb_period", result.report())
+    times = dict(zip(result.values, result.times))
+    # The paper's claim: both extremes lose against a moderate period.
+    moderate = min(times[5], times[20])
+    assert moderate <= times[320]
+    assert moderate <= times[1] * 1.5
+
+
+def test_ablation_threshold_ratio(once):
+    result = once(sweep_threshold_ratio)
+    save_report("ablation_threshold_ratio", result.report())
+    times = dict(zip(result.values, result.times))
+    migrations = dict(zip(result.values, result.migrations))
+    # A near-infinite threshold disables balancing and loses.
+    assert min(times[2.0], times[3.0]) < times[64.0]
+    assert migrations[64.0] <= min(migrations[1.2], migrations[2.0])
+
+
+def test_ablation_accuracy(once):
+    result = once(sweep_accuracy)
+    save_report("ablation_accuracy", result.report())
+    times = dict(zip(result.values, result.times))
+    # Very coarse migration (10% granularity) underperforms accurate.
+    assert times[1.0] <= times[0.1]
+
+
+def test_ablation_min_components(once):
+    result = once(sweep_min_components)
+    save_report("ablation_min_components", result.report())
+    times = dict(zip(result.values, result.times))
+    # A huge famine threshold prevents useful balancing.
+    assert min(times[2], times[4]) <= times[16]
+
+
+def test_ablation_estimator(once):
+    result = once(sweep_estimator)
+    save_report("ablation_estimator", result.report())
+    times = dict(zip(result.values, result.times))
+    # §5.2: the residual beats the naive component count on an
+    # activity-imbalanced workload.
+    assert times["residual"] < times["component_count"]
+
+
+def test_ablation_adaptive_period(once):
+    result = once(compare_adaptive_period)
+    save_report("ablation_adaptive_period", result.report())
+    times = dict(zip(result.values, result.times))
+    # The adaptive controller must be competitive with the best fixed
+    # period (within 50%) and beat the worst one.
+    best_fixed = min(times["fixed-5"], times["fixed-20"], times["fixed-80"])
+    worst_fixed = max(times["fixed-5"], times["fixed-20"], times["fixed-80"])
+    assert times["adaptive"] <= best_fixed * 1.5
+    assert times["adaptive"] <= worst_fixed
+
+
+def test_ablation_skip_optimisation(once):
+    result = once(compare_skip_optimisation)
+    save_report("ablation_skip", result.report())
+    work = dict(zip(result.values, result.extra["total work"]))
+    errors = dict(zip(result.values, result.extra["max error"]))
+    # Same answer with a real work saving: the fast ranks' converged
+    # components skip their verification sweeps.
+    assert errors[True] < 1e-4 and errors[False] < 1e-4
+    assert work[True] < work[False] * 0.9
+
+
+def test_ablation_detection(once):
+    result = once(compare_detection_protocols)
+    save_report("ablation_detection", result.report())
+    times = dict(zip(result.values, result.times))
+    overhead = dict(zip(result.values, result.extra["overhead (s)"]))
+    assert times["token_ring"] >= times["oracle"] * 0.999
+    assert 0.0 <= overhead["token_ring"] < times["oracle"] * 0.5

@@ -1,0 +1,32 @@
+"""Figures 1-4 — execution flows of SISC / SIAC / AIAC / AIAC-variant.
+
+Regenerates the four execution-flow figures as ASCII Gantt charts plus
+the quantity they communicate: idle time per model.  Shape assertions:
+idle(SISC) >= idle(SIAC) > idle(AIAC) == 0, and the mutual-exclusion
+variant (Figure 4) sends fewer halo messages than the eager one
+(Figure 3) — the paper's "this has also the advantage to generate less
+communications".
+"""
+
+from conftest import save_report
+
+from repro.experiments import run_trace_figures
+from repro.workloads import TraceFigureScenario
+
+
+def test_figures_1_to_4(once):
+    result = once(run_trace_figures, TraceFigureScenario())
+    save_report("figures_1_to_4", result.report())
+
+    idle = result.idle_fractions()
+    assert idle["figure3_aiac_eager"] == 0.0
+    assert idle["figure4_aiac_exclusive"] == 0.0
+    assert idle["figure2_siac"] > 0.0
+    assert idle["figure1_sisc"] >= idle["figure2_siac"] * 0.9
+
+    messages = result.halo_messages()
+    assert messages["figure4_aiac_exclusive"] < messages["figure3_aiac_eager"]
+
+    times = {key: run.time for key, run in result.runs.items()}
+    assert times["figure3_aiac_eager"] <= times["figure2_siac"]
+    assert times["figure2_siac"] <= times["figure1_sisc"]

@@ -1,0 +1,25 @@
+"""§6 discussion — SISC vs SIAC vs AIAC on cluster and grid platforms.
+
+Regenerates the comparison behind the paper's argument that
+"load balancing AIAC algorithms in a local homogeneous context would
+only produce slightly better results than their SISC counterparts
+whereas in the global context the difference will be much larger":
+the three models must be close on the cluster and clearly separated on
+the grid.
+"""
+
+from conftest import save_report
+
+from repro.experiments import run_models_comparison
+from repro.workloads import ModelsComparisonScenario
+
+
+def test_models_comparison(once):
+    result = once(run_models_comparison, ModelsComparisonScenario())
+    save_report("models_comparison", result.report())
+
+    assert result.advantage("cluster") < 1.3
+    assert result.advantage("grid") > 1.3
+    assert result.advantage("grid") > 1.5 * result.advantage("cluster")
+    grid = result.grid
+    assert grid["aiac"].time <= grid["siac"].time <= grid["sisc"].time

@@ -1,0 +1,59 @@
+"""Microbenchmarks of the numerical substrates.
+
+These are classic pytest-benchmark timings (multiple rounds) of the hot
+kernels: a Brusselator waveform sweep, the batched 2x2 Newton solve, the
+banded LU, and the sequential reference integrator.  They document the
+per-sweep cost model that the work-unit accounting abstracts.
+"""
+
+import numpy as np
+
+from repro.numerics.banded import BandedMatrix
+from repro.numerics.newton import newton_batched_2x2
+from repro.problems.brusselator import BrusselatorProblem
+
+
+def test_brusselator_sweep_speed(benchmark):
+    problem = BrusselatorProblem(n_points=128, t_end=2.0, n_steps=40)
+    state = problem.initial_state(0, 128)
+    left = problem.initial_halo(-1)
+    right = problem.initial_halo(128)
+
+    result = benchmark(problem.iterate, state, left, right)
+    assert result.total_work > 0
+
+
+def test_batched_newton_speed(benchmark):
+    n = 4096
+    targets = np.linspace(1.0, 9.0, n)
+
+    def f(u, v):
+        return (
+            u * u - targets,
+            v * v - targets,
+            2 * u,
+            np.zeros_like(u),
+            np.zeros_like(u),
+            2 * v,
+        )
+
+    res = benchmark(newton_batched_2x2, f, np.full(n, 5.0), np.full(n, 5.0))
+    assert res.all_converged
+
+
+def test_banded_lu_speed(benchmark):
+    rng = np.random.default_rng(0)
+    n = 400
+    bands = rng.uniform(-1, 1, (5, n))
+    bands[2] = 5.0 + np.abs(bands).sum(axis=0)  # diagonally dominant
+    matrix = BandedMatrix(bands, kl=2, ku=2)
+    b = rng.standard_normal(n)
+
+    x = benchmark(lambda: matrix.lu_factor().solve(b))
+    assert np.all(np.isfinite(x))
+
+
+def test_reference_solution_speed(benchmark):
+    problem = BrusselatorProblem(n_points=64, t_end=2.0, n_steps=20)
+    traj = benchmark(problem.reference_solution)
+    assert traj.shape == (64, 2, 21)

@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+* ``REPRO_BENCH_FULL=1`` switches the experiment benches from the quick
+  (seconds) scenarios to the full paper-scale sweeps (minutes).
+* Reports are printed *and* written to ``benchmarks/out/<name>.txt`` so
+  they survive pytest's output capture; EXPERIMENTS.md quotes them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def save_report(name: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report saved to {path}]")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""A travelling pulse: advection-diffusion under asynchronous iterations.
+
+The fourth problem of the library: upwind advection moves a Gaussian
+pulse downstream while diffusion spreads it.  Two things to see here:
+
+* the *asymmetric* coupling (components lean on their upstream
+  neighbour), which the chain solver handles untouched;
+* the activity profile: the relaxation works hardest along the pulse's
+  path — printed at the end as a bar chart per rank.
+
+Run:  python examples/advection_pulse.py
+"""
+
+import numpy as np
+
+from repro import SolverConfig, homogeneous_cluster, run_aiac
+from repro.problems import AdvectionDiffusionProblem
+
+
+def main() -> None:
+    problem = AdvectionDiffusionProblem(
+        48, velocity=1.0, kappa=0.01, t_end=0.4, n_steps=40,
+        pulse_center=0.2,
+    )
+    platform = homogeneous_cluster(4, speed=8000.0)
+    config = SolverConfig(tolerance=1e-9)
+
+    print("Advection-diffusion pulse, 48 points, 4 processors")
+    result = run_aiac(problem, platform, config)
+    print(f"  {result.summary()}")
+
+    reference = problem.reference_solution()
+    error = result.max_error_vs(reference)
+    print(f"  max error vs sequential reference: {error:.2e}")
+    print(
+        f"  network: {result.meta['network_messages']} messages, "
+        f"{result.meta['network_bytes'] / 1024:.1f} KiB"
+    )
+
+    # Where did the pulse act?  Total trajectory variation per component,
+    # aggregated per rank.
+    solution = result.solution()  # (48, n_steps + 1)
+    variation = np.abs(np.diff(solution, axis=1)).sum(axis=1)
+    print("\n  activity per rank (total trajectory variation):")
+    blocks = np.array_split(variation, 4)
+    peak = variation.sum()
+    for rank, block in enumerate(blocks):
+        share = block.sum() / peak
+        bar = "#" * int(40 * share)
+        print(f"    rank {rank}: {bar} {share:5.1%}")
+
+    # The pulse starts at x=0.2 (rank 0/1 territory) and travels right:
+    # the upstream half carries most of the action.
+    shares = [b.sum() / peak for b in blocks]
+    assert result.converged
+    assert error < 1e-6
+    assert shares[0] + shares[1] > shares[2] + shares[3]
+    print("\nOK — the activity follows the pulse, as the residual estimator would see")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Tuning the load balancer: the trade-offs of paper Section 6.
+
+The paper closes with four conditions for effective load balancing —
+enough iterations, a reasonable computation/communication ratio, a
+frequency "neither too high nor too low", and the accuracy vs network
+load trade-off.  This example sweeps the frequency, the accuracy and
+the load estimator on a fixed activity-imbalanced workload and prints
+the measured trade-off curves.
+
+Run:  python examples/lb_tuning.py
+"""
+
+from repro.experiments.ablations import (
+    sweep_accuracy,
+    sweep_estimator,
+    sweep_lb_period,
+)
+
+
+def main() -> None:
+    print("LB frequency sweep (OkToTryLB period; paper hard-codes 20)")
+    period = sweep_lb_period(values=(1, 5, 20, 80, 320), n_procs=8)
+    print(period.report())
+    # Both extremes lose: too frequent churns, too rare leaves imbalance.
+    times = dict(zip(period.values, period.times))
+    assert min(times[5], times[20]) <= min(times[1], times[320]) * 1.5
+
+    print("\nMigration accuracy sweep (coarse vs fine, Section 6)")
+    accuracy = sweep_accuracy(values=(0.1, 0.25, 0.5, 1.0), n_procs=8)
+    print(accuracy.report())
+
+    print("\nLoad estimator comparison (Section 5.2)")
+    estimator = sweep_estimator(n_procs=8)
+    print(estimator.report())
+    est_times = dict(zip(estimator.values, estimator.times))
+    assert est_times["residual"] < est_times["component_count"], (
+        "the residual estimator must beat the naive component count on an "
+        "activity-imbalanced workload"
+    )
+
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Analysis of run results: metrics, Gantt rendering, report tables."""
+
+from repro.analysis.metrics import (
+    efficiency,
+    idle_fraction,
+    speedup_series,
+    time_ratio,
+    work_imbalance,
+)
+from repro.analysis.gantt import render_gantt
+from repro.analysis.plots import ascii_plot
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "idle_fraction",
+    "work_imbalance",
+    "speedup_series",
+    "efficiency",
+    "time_ratio",
+    "render_gantt",
+    "ascii_plot",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,113 @@
+"""Text plots: render (x, y) series as ASCII charts.
+
+The paper's Figure 5 is a log-log plot of execution time against the
+number of processors with two curves (with/without load balancing).
+:func:`ascii_plot` renders the same thing in a terminal::
+
+    time (s) vs processors  [log-log]
+    1e+04 |  A
+          |     A
+          |  B     A
+    1e+03 |     B      A
+          |              B
+          +------------------
+            4    8   16  32
+
+Multiple series get distinct glyphs and a legend.  Used by the Figure 5
+benchmark report and the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["ascii_plot"]
+
+_GLYPHS = "ABCDEFGH"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError(f"log axis requires positive values, got {value!r}")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render named ``{label: (xs, ys)}`` series as an ASCII chart.
+
+    Points are plotted with one glyph per series; later series overwrite
+    earlier ones on collisions.  Axis ranges cover all series jointly.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError(f"plot too small: {width}x{height}")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+
+    points: list[tuple[float, float, str]] = []
+    for glyph, (label, (xs, ys)) in zip(_GLYPHS, series.items()):
+        if len(xs) != len(ys):
+            raise ValueError(f"series {label!r}: length mismatch")
+        if not xs:
+            raise ValueError(f"series {label!r} is empty")
+        for x, y in zip(xs, ys):
+            points.append((_transform(x, log_x), _transform(y, log_y), glyph))
+
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_lo = min(p[1] for p in points)
+    y_hi = max(p[1] for p in points)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    def fmt_axis(value: float, log: bool) -> str:
+        return f"{10 ** value:.3g}" if log else f"{value:.3g}"
+
+    label_width = max(len(fmt_axis(y_hi, log_y)), len(fmt_axis(y_lo, log_y)))
+    lines = []
+    if title:
+        scale = (
+            " [log-log]" if (log_x and log_y)
+            else " [log-x]" if log_x
+            else " [log-y]" if log_y
+            else ""
+        )
+        lines.append(f"{title}{scale}")
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = fmt_axis(y_hi, log_y).rjust(label_width)
+        elif i == height - 1:
+            label = fmt_axis(y_lo, log_y).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row_cells)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_left = fmt_axis(x_lo, log_x)
+    x_right = fmt_axis(x_hi, log_x)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (label_width + 2) + x_left + " " * max(pad, 1) + x_right
+    )
+    legend = "   ".join(
+        f"{glyph}={label}" for glyph, label in zip(_GLYPHS, series.keys())
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Non-centralized iterative load-balancing algorithms (paper Section 3).
+
+Standalone implementations of the algorithm families the paper surveys
+before picking its scheme, usable on any (connected) networkx graph:
+
+* :func:`~repro.balancing.diffusion.diffusion_balance` — Cybenko's
+  first-order diffusion: every node exchanges load with *all* its
+  neighbours simultaneously each round;
+* :func:`~repro.balancing.dimension_exchange.dimension_exchange_balance`
+  — pairwise averaging along one edge colour (dimension) per round;
+* :func:`~repro.balancing.bertsekas.simulate_bertsekas_lb` — the
+  *asynchronous* Bertsekas–Tsitsiklis model the paper builds on: nodes
+  act on possibly stale neighbour information at their own pace, with
+  message delays, shipping load to lighter neighbours (either all of
+  them or only the lightest — the variant the paper selects);
+* :func:`~repro.balancing.centralized.centralized_balance` — the global
+  coordinator baseline the paper argues against (it needs global
+  synchronisation), used in ablations;
+* :mod:`~repro.balancing.analysis` — imbalance metrics shared by all of
+  them.
+
+These operate on abstract load vectors; the *solver-integrated* balancer
+(residual-driven, component migration) is :mod:`repro.core.lb`.
+"""
+
+from repro.balancing.accelerated import (
+    chebyshev_diffusion_balance,
+    diffusion_matrix,
+    second_eigenvalue,
+    second_order_diffusion_balance,
+)
+from repro.balancing.analysis import imbalance_ratio, load_stddev, mean_load
+from repro.balancing.bertsekas import BertsekasParams, simulate_bertsekas_lb
+from repro.balancing.centralized import centralized_balance
+from repro.balancing.diffusion import diffusion_balance, diffusion_step, optimal_alpha
+from repro.balancing.dimension_exchange import (
+    dimension_exchange_balance,
+    dimension_exchange_round,
+    edge_colouring,
+)
+
+__all__ = [
+    "chebyshev_diffusion_balance",
+    "diffusion_matrix",
+    "second_eigenvalue",
+    "second_order_diffusion_balance",
+    "imbalance_ratio",
+    "load_stddev",
+    "mean_load",
+    "BertsekasParams",
+    "simulate_bertsekas_lb",
+    "centralized_balance",
+    "diffusion_balance",
+    "diffusion_step",
+    "optimal_alpha",
+    "dimension_exchange_balance",
+    "dimension_exchange_round",
+    "edge_colouring",
+]

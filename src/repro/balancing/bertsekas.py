@@ -1,0 +1,202 @@
+"""The Bertsekas–Tsitsiklis asynchronous load-balancing model.
+
+This is the model the paper's balancer instantiates (Section 3): "each
+processor has an evaluation of its load and those of all its neighbors.
+Then, at some given times, this processor looks for its neighbors which
+are less loaded than itself.  Finally, it distributes a part of its load
+to all these processors.  A variant ... is to send a part of the work
+only to the lightest loaded neighbor.  This last variant has been chosen
+for implementation in our AIAC algorithms."
+
+Here the model runs standalone on the DES with *abstract divisible
+load*: nodes act at their own (jittered) pace on *stale* neighbour
+information carried by delayed messages — the genuinely asynchronous
+setting in which Bertsekas & Tsitsiklis prove convergence to a bounded
+neighbourhood of the balanced state.  Both the "all lighter neighbours"
+and the paper's "lightest neighbour" variants are provided.
+
+The solver-integrated version (indivisible components, residual
+estimates) is :mod:`repro.core.lb`; this module exists to study the
+model itself (convergence, staleness, variant comparison) and backs the
+``bench_ablations`` policy comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.des import Hold, Simulator
+from repro.util.rng import spawn_generator
+from repro.util.validation import check_positive
+
+__all__ = ["BertsekasParams", "BertsekasResult", "simulate_bertsekas_lb"]
+
+
+@dataclass(slots=True, frozen=True)
+class BertsekasParams:
+    """Model parameters.
+
+    Attributes
+    ----------
+    check_period:
+        Mean time between a node's balancing attempts.
+    period_jitter:
+        Relative jitter of the period (nodes drift apart — asynchrony).
+    message_delay:
+        One-way delay of both load-info and transfer messages (this is
+        what makes neighbour views *stale*).
+    threshold_ratio:
+        A node acts only on neighbours whose (viewed) load is below
+        ``mine / threshold_ratio``; > 1 prevents thrashing.
+    transfer_fraction:
+        Fraction of the viewed surplus actually shipped per action.
+    variant:
+        ``"lightest"`` (the paper's pick) or ``"all_lighter"``.
+    horizon:
+        Virtual-time budget of the simulation.
+    """
+
+    check_period: float = 1.0
+    period_jitter: float = 0.3
+    message_delay: float = 0.2
+    threshold_ratio: float = 1.2
+    transfer_fraction: float = 0.5
+    variant: str = "lightest"
+    horizon: float = 500.0
+
+    def __post_init__(self) -> None:
+        check_positive("check_period", self.check_period)
+        if not 0 <= self.period_jitter < 1:
+            raise ValueError(f"period_jitter must be in [0, 1), got {self.period_jitter}")
+        if self.message_delay < 0:
+            raise ValueError(f"message_delay must be >= 0, got {self.message_delay}")
+        if not self.threshold_ratio > 1:
+            raise ValueError(f"threshold_ratio must be > 1, got {self.threshold_ratio}")
+        if not 0 < self.transfer_fraction <= 1:
+            raise ValueError(
+                f"transfer_fraction must be in (0, 1], got {self.transfer_fraction}"
+            )
+        if self.variant not in ("lightest", "all_lighter"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        check_positive("horizon", self.horizon)
+
+
+@dataclass(slots=True)
+class BertsekasResult:
+    """Simulation outcome."""
+
+    final_load: np.ndarray
+    history_times: list[float]
+    history_imbalance: list[float]
+    transfers: int = 0
+    info_messages: int = 0
+
+    @property
+    def final_imbalance(self) -> float:
+        mean = self.final_load.mean()
+        return float(self.final_load.max() / mean) if mean > 0 else 1.0
+
+
+def simulate_bertsekas_lb(
+    graph: nx.Graph,
+    initial_load: np.ndarray,
+    params: BertsekasParams = BertsekasParams(),
+    *,
+    seed: int = 0,
+    sample_period: float = 1.0,
+) -> BertsekasResult:
+    """Run the asynchronous model; returns loads and imbalance history.
+
+    Load is conserved exactly (in-flight amounts included) — asserted
+    at every sample point.
+    """
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    load = np.asarray(initial_load, dtype=float).copy()
+    if load.shape != (n,):
+        raise ValueError(f"initial_load must have shape ({n},), got {load.shape}")
+    if np.any(load < 0):
+        raise ValueError("loads must be non-negative")
+    total = load.sum()
+    idx = {node: i for i, node in enumerate(nodes)}
+    neighbours = [sorted((idx[v] for v in graph.neighbors(u))) for u in nodes]
+    # views[i][j]: i's (stale) view of j's load; bootstrapped exact.
+    views = [dict((j, load[j]) for j in neighbours[i]) for i in range(n)]
+    in_flight = [0.0]  # box so closures can mutate
+
+    sim = Simulator()
+    result = BertsekasResult(
+        final_load=load,
+        history_times=[],
+        history_imbalance=[],
+    )
+
+    def deliver_info(dst: int, src: int, value: float) -> None:
+        views[dst][src] = value
+
+    def deliver_load(dst: int, amount: float) -> None:
+        load[dst] += amount
+        in_flight[0] -= amount
+
+    def node_process(i: int, rng: np.random.Generator):
+        while True:
+            jitter = 1.0 + params.period_jitter * (2.0 * rng.random() - 1.0)
+            yield Hold(params.check_period * jitter)
+            # Advertise our load to every neighbour (stale on arrival).
+            for j in neighbours[i]:
+                result.info_messages += 1
+                sim.schedule_in(
+                    params.message_delay,
+                    lambda j=j, v=load[i]: deliver_info(j, i, v),
+                )
+            mine = load[i]
+            if mine <= 0:
+                continue
+            lighter = [
+                j
+                for j in neighbours[i]
+                if views[i][j] < mine / params.threshold_ratio
+            ]
+            if not lighter:
+                continue
+            if params.variant == "lightest":
+                lightest = min(lighter, key=lambda j: (views[i][j], j))
+                targets = [lightest]
+            else:
+                targets = lighter
+            for j in targets:
+                surplus = (load[i] - views[i][j]) / (len(targets) + 1)
+                amount = params.transfer_fraction * surplus
+                if amount <= 0:
+                    continue
+                load[i] -= amount
+                in_flight[0] += amount
+                result.transfers += 1
+                sim.schedule_in(
+                    params.message_delay,
+                    lambda j=j, a=amount: deliver_load(j, a),
+                )
+
+    def sampler():
+        while True:
+            yield Hold(sample_period)
+            conserved = load.sum() + in_flight[0]
+            if abs(conserved - total) > 1e-6 * max(total, 1.0):
+                raise AssertionError(
+                    f"load not conserved: {conserved} != {total}"
+                )
+            result.history_times.append(sim.now)
+            mean = total / n
+            result.history_imbalance.append(
+                float(load.max() / mean) if mean > 0 else 1.0
+            )
+
+    for i in range(n):
+        rng = spawn_generator(seed, f"bertsekas/node/{i}")
+        sim.spawn(f"node-{i}", node_process(i, rng))
+    sim.spawn("sampler", sampler())
+    sim.run(until=params.horizon)
+    return result

@@ -1,0 +1,243 @@
+"""Command-line interface: run any experiment (or a custom solve).
+
+Usage::
+
+    python -m repro figure5 [--full]
+    python -m repro table1 [--full]
+    python -m repro figures-1-4
+    python -m repro models
+    python -m repro ablations [--only period,estimator,...]
+    python -m repro solve --problem brusselator --ranks 4 --lb [--gantt]
+    python -m repro list
+
+The experiment commands run the corresponding experiment of DESIGN.md §4
+and print the same report the benchmark writes to ``benchmarks/out/``;
+``solve`` assembles a one-off run from flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+__all__ = ["main"]
+
+
+def _figure5(args: argparse.Namespace) -> str:
+    from repro.experiments import run_figure5
+    from repro.workloads import Figure5Scenario
+
+    scenario = Figure5Scenario() if args.full else Figure5Scenario.quick()
+    return run_figure5(scenario).report()
+
+
+def _table1(args: argparse.Namespace) -> str:
+    from repro.experiments import run_table1
+    from repro.workloads import Table1Scenario
+
+    scenario = Table1Scenario() if args.full else Table1Scenario.quick()
+    return run_table1(scenario).report()
+
+
+def _figures_1_4(args: argparse.Namespace) -> str:
+    from repro.experiments import run_trace_figures
+
+    return run_trace_figures().report()
+
+
+def _models(args: argparse.Namespace) -> str:
+    from repro.experiments import run_models_comparison
+
+    return run_models_comparison().report()
+
+
+_ABLATIONS: dict[str, str] = {
+    "period": "sweep_lb_period",
+    "threshold": "sweep_threshold_ratio",
+    "accuracy": "sweep_accuracy",
+    "famine": "sweep_min_components",
+    "estimator": "sweep_estimator",
+    "adaptive": "compare_adaptive_period",
+    "detection": "compare_detection_protocols",
+    "skip": "compare_skip_optimisation",
+}
+
+
+def _ablations(args: argparse.Namespace) -> str:
+    import repro.experiments.ablations as ablations
+
+    selected = (
+        [k.strip() for k in args.only.split(",")] if args.only else list(_ABLATIONS)
+    )
+    unknown = [k for k in selected if k not in _ABLATIONS]
+    if unknown:
+        raise SystemExit(
+            f"unknown ablation(s) {unknown}; choose from {sorted(_ABLATIONS)}"
+        )
+    parts = []
+    for key in selected:
+        fn = getattr(ablations, _ABLATIONS[key])
+        parts.append(fn().report())
+    return "\n\n".join(parts)
+
+
+def _solve(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from repro.core import LBConfig, SolverConfig, run_aiac, run_balanced_aiac
+    from repro.grid import Host, Link, Network, Platform, homogeneous_cluster
+    from repro.models import run_siac, run_sisc
+    from repro.problems import BrusselatorProblem, HeatProblem, SyntheticProblem
+
+    if args.problem == "brusselator":
+        problem = BrusselatorProblem(
+            args.size, t_end=4.0, n_steps=max(10, args.size // 2)
+        )
+        speed = 20_000.0
+    elif args.problem == "heat":
+        problem = HeatProblem(args.size, t_end=0.05, n_steps=40)
+        speed = 4_000.0
+    elif args.problem == "synthetic":
+        problem = SyntheticProblem.with_hard_region(
+            args.size, easy_rate=0.5, hard_rate=0.95, active_cost=10.0
+        )
+        speed = 200.0
+    else:  # pragma: no cover - argparse choices guard this
+        raise SystemExit(f"unknown problem {args.problem!r}")
+
+    if args.slow_factor > 1.0:
+        network = Network(Link(latency=1e-4, bandwidth=100e6))
+        hosts = [Host(f"node-{i:02d}", speed) for i in range(args.ranks - 1)]
+        hosts.append(Host("slow", speed / args.slow_factor))
+        platform = Platform(hosts=hosts, network=network)
+    else:
+        platform = homogeneous_cluster(args.ranks, speed=speed)
+
+    config = SolverConfig(tolerance=args.tolerance, max_iterations=500_000)
+    if args.lb:
+        result = run_balanced_aiac(
+            problem, platform, config, LBConfig(period=args.lb_period)
+        )
+    elif args.model == "sisc":
+        result = run_sisc(problem, platform, config)
+    elif args.model == "siac":
+        result = run_siac(problem, platform, config)
+    else:
+        result = run_aiac(problem, platform, config)
+
+    lines = [result.summary()]
+    if hasattr(problem, "reference_solution"):
+        reference = problem.reference_solution()
+        lines.append(
+            f"max error vs sequential reference: "
+            f"{result.max_error_vs(reference):.3e}"
+        )
+    else:
+        lines.append(f"max residual error: {float(np.max(result.solution())):.3e}")
+    if args.lb:
+        lines.append(
+            f"migrations: {result.n_migrations} "
+            f"({result.components_migrated} components); "
+            f"final blocks: {result.meta['final_sizes']}"
+        )
+    if args.gantt:
+        from repro.analysis import render_gantt
+
+        lines.append(render_gantt(result, width=80))
+    if args.json:
+        result.save_json(args.json)
+        lines.append(f"run summary written to {args.json}")
+    return "\n".join(lines)
+
+
+def _list(args: argparse.Namespace) -> str:
+    return "\n".join(
+        [
+            "figure5      time vs processors, with/without LB (paper Figure 5)",
+            "table1       heterogeneous 3-site grid (paper Table 1)",
+            "figures-1-4  SISC/SIAC/AIAC execution flows (paper Figures 1-4)",
+            "models       cluster vs grid model comparison (paper §6)",
+            f"ablations    design-knob sweeps: {', '.join(sorted(_ABLATIONS))}",
+        ]
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn, full_flag in [
+        ("figure5", _figure5, True),
+        ("table1", _table1, True),
+        ("figures-1-4", _figures_1_4, False),
+        ("models", _models, False),
+        ("list", _list, False),
+    ]:
+        cmd = sub.add_parser(name)
+        cmd.set_defaults(handler=fn)
+        if full_flag:
+            cmd.add_argument(
+                "--full",
+                action="store_true",
+                help="paper-scale run (minutes) instead of the quick one",
+            )
+
+    ablation_cmd = sub.add_parser("ablations")
+    ablation_cmd.set_defaults(handler=_ablations)
+    ablation_cmd.add_argument(
+        "--only",
+        default="",
+        help=f"comma-separated subset of: {', '.join(sorted(_ABLATIONS))}",
+    )
+
+    solve_cmd = sub.add_parser("solve", help="run a one-off custom solve")
+    solve_cmd.set_defaults(handler=_solve)
+    solve_cmd.add_argument(
+        "--problem",
+        choices=("brusselator", "heat", "synthetic"),
+        default="brusselator",
+    )
+    solve_cmd.add_argument("--size", type=int, default=48, help="components")
+    solve_cmd.add_argument("--ranks", type=int, default=4, help="processors")
+    solve_cmd.add_argument(
+        "--slow-factor",
+        type=float,
+        default=1.0,
+        help="make the last host this many times slower (heterogeneity)",
+    )
+    solve_cmd.add_argument(
+        "--model", choices=("aiac", "sisc", "siac"), default="aiac"
+    )
+    solve_cmd.add_argument(
+        "--lb", action="store_true", help="enable dynamic load balancing"
+    )
+    solve_cmd.add_argument("--lb-period", type=int, default=10)
+    solve_cmd.add_argument("--tolerance", type=float, default=1e-7)
+    solve_cmd.add_argument(
+        "--gantt", action="store_true", help="print the execution Gantt"
+    )
+    solve_cmd.add_argument(
+        "--json", default="", help="write the run summary to this JSON file"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler: Callable[[argparse.Namespace], str] = args.handler
+    start = time.perf_counter()
+    report = handler(args)
+    print(report)
+    if args.command not in ("list",):
+        print(f"\n[{args.command} completed in {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

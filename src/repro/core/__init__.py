@@ -1,0 +1,46 @@
+"""The paper's contribution: AIAC solvers coupled with decentralized
+dynamic load balancing.
+
+Public entry points:
+
+* :func:`~repro.core.solver.run_aiac` — Algorithm 1, the unbalanced
+  asynchronous-iterations / asynchronous-communications solver;
+* :func:`~repro.core.lb.run_balanced_aiac` — Algorithms 4–7, the
+  residual-driven, non-centralized load-balanced AIAC solver;
+* :class:`~repro.core.config.SolverConfig` /
+  :class:`~repro.core.config.LBConfig` — run configuration;
+* :class:`~repro.core.records.RunResult` — everything a run produces.
+
+The synchronous execution models (SISC, SIAC) built on the same
+machinery live in :mod:`repro.models`.
+"""
+
+from repro.core.config import LBConfig, SolverConfig
+from repro.core.convergence import SupervisorMonitor, TokenRingDetector
+from repro.core.estimators import (
+    ComponentCountEstimator,
+    IterationTimeEstimator,
+    LoadEstimator,
+    ResidualEstimator,
+    make_estimator,
+)
+from repro.core.partition import PartitionRegistry
+from repro.core.records import RunResult
+from repro.core.solver import run_aiac
+from repro.core.lb import run_balanced_aiac
+
+__all__ = [
+    "SolverConfig",
+    "LBConfig",
+    "SupervisorMonitor",
+    "TokenRingDetector",
+    "LoadEstimator",
+    "ResidualEstimator",
+    "IterationTimeEstimator",
+    "ComponentCountEstimator",
+    "make_estimator",
+    "PartitionRegistry",
+    "RunResult",
+    "run_aiac",
+    "run_balanced_aiac",
+]

@@ -1,0 +1,226 @@
+"""Global convergence detection for asynchronous iterations.
+
+The paper notes that AIAC algorithms need "the good criterion for
+convergence detection and the good halting procedure" but does not
+detail one.  We provide two:
+
+* :class:`SupervisorMonitor` — an *oracle*: an observer outside the
+  simulated platform that sees every rank's residual report in zero
+  virtual time.  Used by all benchmarks so that detection overhead never
+  pollutes the timing comparisons between algorithms (every variant pays
+  exactly zero for detection).
+
+* :class:`TokenRingDetector` — a *practical* decentralized two-phase
+  token protocol on the chain, costing real messages and virtual time:
+  rank 0 launches a query token once locally converged; the token
+  travels right, each rank stamping whether it has been persistently
+  converged since the previous phase; if the token returns clean twice
+  in a row (the verification pass catches ranks reawakened by in-flight
+  data), rank 0 broadcasts halt.  An ablation benchmark measures its
+  overhead against the oracle.
+
+Both declare convergence only after every rank reports ``persistence``
+*consecutive* sweeps below tolerance, and any migration resets the
+counters of the ranks involved (their residual is about to change).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["SupervisorMonitor", "TokenRingDetector"]
+
+
+class SupervisorMonitor:
+    """Zero-cost convergence oracle.
+
+    Parameters
+    ----------
+    n_ranks:
+        Chain length.
+    tolerance:
+        Residual threshold.
+    persistence:
+        Consecutive below-tolerance sweeps required per rank.
+    on_converged:
+        Callback fired once, when global convergence is declared (the
+        solver uses it to raise every node's stop flag and halt the
+        simulation).
+    hold_while:
+        Optional predicate; while it returns True the monitor defers the
+        declaration even when every streak is satisfied.  The balanced
+        solver passes "components are in flight" — stopping mid-flight
+        would lose the migrating components' state.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        tolerance: float,
+        persistence: int,
+        on_converged: Callable[[], None],
+        hold_while: Callable[[], bool] | None = None,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.tolerance = tolerance
+        self.persistence = persistence
+        self._on_converged = on_converged
+        self._hold_while = hold_while
+        self._streak = [0] * n_ranks
+        self.converged = False
+        self.convergence_time: float | None = None
+
+    def report(self, rank: int, residual: float, now: float) -> None:
+        """A rank finished a sweep with the given local residual."""
+        if self.converged:
+            return
+        if residual < self.tolerance:
+            self._streak[rank] += 1
+        else:
+            self._streak[rank] = 0
+        if all(s >= self.persistence for s in self._streak):
+            if self._hold_while is not None and self._hold_while():
+                return  # e.g. a migration is in flight: check again later
+            self.converged = True
+            self.convergence_time = now
+            self._on_converged()
+
+    def reset_rank(self, rank: int) -> None:
+        """A migration touched ``rank``: its residual is about to change."""
+        if not self.converged:
+            self._streak[rank] = 0
+
+
+class TokenRingDetector:
+    """Decentralized two-phase token detection (practical protocol).
+
+    The detector is *driven by the solver*: each rank owns one
+    ``RankState`` updated on every sweep; rank 0 decides when to launch
+    tokens, and the solver carries token payloads in ordinary runtime
+    messages (kind ``"detect_token"``), paying latency and bandwidth
+    like any other message.
+
+    Protocol
+    --------
+    1. Every rank tracks a *local streak* of consecutive below-tolerance
+       sweeps, reset by residual regressions and by migrations.
+    2. When rank 0's streak reaches ``persistence`` it launches a token
+       ``(phase, epoch)`` rightward.  A rank forwards the token only
+       while its own streak is at the threshold; otherwise it *drops*
+       the token (cancellation) — rank 0 retries after its next sweep.
+    3. A token completing the full ring (reaching the last rank) ends
+       phase 1; the last rank sends it back as a *verification* token.
+       If it comes home with every streak still intact, rank 0 declares
+       convergence and a halt wave propagates rightward.
+    4. A rank that drops a token (it is not persistently converged, or a
+       migration just reset it) sends a *cancel* token back to rank 0 so
+       the round is closed and can be relaunched — without it, one
+       dropped token would leave rank 0 waiting forever.
+
+    The two passes are necessary: after the first pass a rank may be
+    reawakened by data that was in flight during the pass; FIFO channels
+    guarantee such data arrives before the verification token does.
+    """
+
+    QUERY = "query"
+    VERIFY = "verify"
+    HALT = "halt"
+    CANCEL = "cancel"
+
+    def __init__(self, n_ranks: int, tolerance: float, persistence: int) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.tolerance = tolerance
+        self.persistence = persistence
+        self._streak = [0] * n_ranks
+        #: epoch counter: stale tokens from cancelled rounds are ignored.
+        self.epoch = 0
+        self._round_active = False
+        self.converged = False
+        self.messages_used = 0
+
+    # -- per-sweep updates ------------------------------------------------
+    def report(self, rank: int, residual: float) -> None:
+        if residual < self.tolerance:
+            self._streak[rank] += 1
+        else:
+            self._streak[rank] = 0
+            if rank == 0:
+                self._round_active = False  # cancel our own round
+
+    def reset_rank(self, rank: int) -> None:
+        self._streak[rank] = 0
+        if rank == 0:
+            self._round_active = False
+
+    def locally_converged(self, rank: int) -> bool:
+        return self._streak[rank] >= self.persistence
+
+    # -- token logic -------------------------------------------------------
+    def should_launch(self, rank: int) -> dict | None:
+        """Called by rank 0 after each sweep; returns a token to send or None."""
+        if rank != 0 or self.converged:
+            return None
+        if self._round_active or not self.locally_converged(0):
+            return None
+        if self.n_ranks == 1:
+            # Degenerate chain: local persistence is global convergence.
+            self.converged = True
+            return None
+        self.epoch += 1
+        self._round_active = True
+        self.messages_used += 1
+        return {"phase": self.QUERY, "epoch": self.epoch}
+
+    def on_token(self, rank: int, token: dict) -> tuple[dict | None, int]:
+        """Handle an arriving token at ``rank``.
+
+        Returns ``(token_to_send, direction)`` with direction +1 (right)
+        or -1 (left); ``(None, 0)`` drops the token.
+        """
+        phase = token["phase"]
+        epoch = token["epoch"]
+        if phase == self.HALT:
+            self.converged = True
+            if rank + 1 < self.n_ranks:
+                self.messages_used += 1
+                return {"phase": self.HALT, "epoch": epoch}, +1
+            return None, 0
+        if phase == self.CANCEL:
+            if rank == 0:
+                if epoch == self.epoch:
+                    self._round_active = False
+                return None, 0
+            self.messages_used += 1
+            return token, -1  # keep travelling home
+        if epoch != self.epoch and rank == 0:
+            return None, 0  # stale round
+        if not self.locally_converged(rank):
+            # Cancel the round and tell rank 0, or it would wait forever
+            # for a token that died here.
+            if rank == 0:
+                self._round_active = False
+                return None, 0
+            self.messages_used += 1
+            return {"phase": self.CANCEL, "epoch": epoch}, -1
+        if phase == self.QUERY:
+            if rank == self.n_ranks - 1:
+                self.messages_used += 1
+                return {"phase": self.VERIFY, "epoch": epoch}, -1
+            self.messages_used += 1
+            return token, +1
+        if phase == self.VERIFY:
+            if rank == 0:
+                # Round complete and everyone stayed converged: halt.
+                self.converged = True
+                self._round_active = False
+                if self.n_ranks > 1:
+                    self.messages_used += 1
+                    return {"phase": self.HALT, "epoch": epoch}, +1
+                return None, 0
+            self.messages_used += 1
+            return token, -1
+        raise ValueError(f"unknown token phase {phase!r}")

@@ -1,0 +1,410 @@
+"""The load-balanced AIAC solver (paper Algorithms 4–7).
+
+Each rank periodically (every ``LBConfig.period`` sweeps — the
+``OkToTryLB`` counter) tests whether to ship components to a neighbour:
+left first, then right (the paper's trial order, which also prevents a
+node from balancing with both neighbours at once).  The decision is the
+Bertsekas–Tsitsiklis *lightest-loaded-neighbour* rule with the load
+measured by the configured estimator (the paper's residual by default):
+ship when ``my_estimate / neighbour_estimate > threshold_ratio``, and
+never shrink below ``min_components`` (the famine guard).
+
+Migration protocol
+------------------
+The paper sends migration data directly.  On a chain this admits a rare
+but fatal race: if two adjacent ranks simultaneously decide to ship
+components to *each other* (possible with stale estimates), the blocks
+interleave and the contiguous partition is destroyed.  We therefore make
+migrations a three-step handshake, each step a normal asynchronous
+message:
+
+1. **offer** — tiny message announcing the intent and amount;
+2. **reply** — the receiver accepts unless it is already involved in a
+   conflicting migration on that edge; crossing offers are broken
+   deterministically (the lower rank's offer wins);
+3. **data** — the components (plus the receiver's fresh halo and the
+   shipped global positions), sent only after an accept; the sender
+   splits its state at this moment, so the amount is re-validated
+   against the famine guard and the transfer is cancelled (a zero-count
+   data message) if it no longer fits.
+
+The handshake costs one extra round-trip of latency per migration —
+negligible against the data transfer — and makes the partition
+invariants of :class:`repro.core.partition.PartitionRegistry` hold
+under any asynchronous schedule (property-tested).
+
+Boundary messages carry global positions; receive handlers drop stale
+halo data exactly as the unbalanced solver does (Algorithm 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.config import LBConfig, SolverConfig
+from repro.core.estimators import make_estimator
+from repro.core.records import RunResult
+from repro.core.solver import ChainRun, RankContext, build_chain
+from repro.grid.platform import Platform
+from repro.problems.base import Problem
+from repro.runtime.message import Message
+from repro.runtime.tracer import MigrationRecord
+
+__all__ = ["run_balanced_aiac", "LBRankState"]
+
+
+@dataclass(slots=True)
+class LBRankState:
+    """Per-rank load-balancing protocol state."""
+
+    #: Sweeps remaining until the next trial (``OkToTryLB``).
+    ok_to_try: int
+    #: Current trial period (adapted per rank when ``LBConfig.adaptive``).
+    current_period: int = 0
+    #: Outstanding outgoing offer per side: None or the offered count.
+    outgoing: dict[str, int | None] = field(
+        default_factory=lambda: {"left": None, "right": None}
+    )
+    #: We accepted an offer from this side and await its data.
+    incoming_expected: dict[str, bool] = field(
+        default_factory=lambda: {"left": False, "right": False}
+    )
+    offers_sent: int = 0
+    offers_rejected: int = 0
+    migrations_out: int = 0
+    #: Consecutive genuinely-fruitless trials (adaptive mode backs off
+    #: only after several in a row, tolerating estimator noise).
+    fruitless_streak: int = 0
+
+
+def _opposite(side: str) -> str:
+    return "right" if side == "left" else "left"
+
+
+def _adapt_period(state: LBRankState, cfg: LBConfig, *, productive: bool) -> None:
+    """MIMD adaptation of the trial period (the paper's future work).
+
+    Halve after a productive event (a migration went out — imbalance is
+    present, look again soon); double after a fruitless one (nothing to
+    ship, or the neighbour refused).
+    """
+    if not cfg.adaptive:
+        return
+    if productive:
+        state.current_period = max(cfg.period_min, state.current_period // 2)
+    else:
+        state.current_period = min(cfg.period_max, state.current_period * 2)
+
+
+class _BalancedRun:
+    """Glue object wiring LB handlers and the balanced main loop."""
+
+    def __init__(self, run: ChainRun, lb_config: LBConfig) -> None:
+        self.run = run
+        self.cfg = lb_config
+        self.lb: list[LBRankState] = [
+            LBRankState(
+                ok_to_try=lb_config.period, current_period=lb_config.period
+            )
+            for _ in run.ranks
+        ]
+        run.rank_busy = self._rank_busy
+        for ctx in run.ranks:
+            ctx.estimator = make_estimator(lb_config.estimator)
+            for side in ("left", "right"):
+                ctx.node.register_handler(
+                    f"lb_offer_from_{side}",
+                    lambda msg, c=ctx, s=side: self._on_offer(c, s, msg),
+                )
+                ctx.node.register_handler(
+                    f"lb_reply_from_{side}",
+                    lambda msg, c=ctx, s=side: self._on_reply(c, s, msg),
+                )
+                ctx.node.register_handler(
+                    f"lb_data_from_{side}",
+                    lambda msg, c=ctx, s=side: self._on_data(c, s, msg),
+                )
+
+    def _rank_busy(self, rank: int) -> bool:
+        """Unfinished migration protocol at ``rank``?
+
+        Used by convergence detection: a rank with an outstanding offer
+        or an accepted-but-not-received migration cannot vouch for its
+        residual (components may be about to arrive or leave).
+        """
+        state = self.lb[rank]
+        return any(v is not None for v in state.outgoing.values()) or any(
+            state.incoming_expected.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Initiation (Algorithm 5, TryLeftLB / TryRightLB)
+    # ------------------------------------------------------------------
+    def try_lb(self, ctx: RankContext, side: str) -> str:
+        """Attempt a migration toward ``side``.
+
+        Returns the outcome: ``"offered"`` when an offer went out;
+        transient obstacles (``"edge"``, ``"pending"``, ``"busy"``,
+        ``"no_info"``); or genuinely-nothing-to-do outcomes
+        (``"converged"``, ``"balanced"``, ``"famine"``) — the adaptive
+        frequency controller backs off only on the latter group.
+        """
+        run, cfg = self.run, self.cfg
+        state = self.lb[ctx.rank]
+        neighbor = run.neighbor(ctx.rank, side)
+        if neighbor is None:
+            return "edge"
+        if state.outgoing[side] is not None or state.incoming_expected[side]:
+            return "pending"
+        data_kind = f"lb_data_from_{_opposite(side)}"
+        if ctx.node.channel_busy(data_kind, neighbor.rank):
+            return "busy"  # previous migration data still in flight
+        mine = ctx.estimator.value()
+        theirs = ctx.neighbor_estimate[side]
+        if not math.isfinite(mine):
+            return "no_info"  # no sweep completed yet
+        if mine <= 0.0 or ctx.residual < run.config.tolerance:
+            # This rank is locally converged: its components are no load
+            # at all, and ratios between two converged ranks are pure
+            # noise (1e-14 / 1e-16 = 100).  Migrating here only churns
+            # the network and resets convergence streaks.
+            return "converged"
+        if not math.isfinite(theirs):
+            return "no_info"  # neighbour never reported
+        ratio = mine / theirs if theirs > 0.0 else math.inf
+        if ratio <= cfg.threshold_ratio:
+            return "balanced"
+        surplus_fraction = 1.0 - 1.0 / ratio if math.isfinite(ratio) else 1.0
+        nb = int(cfg.accuracy * ctx.n_local * surplus_fraction)
+        nb = min(
+            nb,
+            int(cfg.max_fraction * ctx.n_local),
+            ctx.n_local - cfg.min_components,
+        )
+        if nb < 1:
+            return "famine"  # famine guard (ThresholdData)
+        offer_kind = f"lb_offer_from_{_opposite(side)}"
+        ctx.node.send(
+            neighbor.node,
+            offer_kind,
+            {"n": nb},
+            run.config.header_bytes,
+        )
+        state.outgoing[side] = nb
+        state.offers_sent += 1
+        return "offered"
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def _on_offer(self, ctx: RankContext, side: str, msg: Message) -> None:
+        """An adjacent rank offers components arriving on our ``side``."""
+        state = self.lb[ctx.rank]
+        neighbor = self.run.neighbor(ctx.rank, side)
+        assert neighbor is not None
+        accept = True
+        if ctx.node.stop_requested or state.incoming_expected[side]:
+            accept = False
+        elif ctx.node.channel_busy(f"lb_data_from_{_opposite(side)}", neighbor.rank):
+            # Defensive: our own migration data toward that neighbour is
+            # still in flight (cannot occur under FIFO channels, but the
+            # invariant is cheap to enforce).
+            accept = False
+        elif state.outgoing[side] is not None:
+            # Crossing offers on this edge: the lower rank's offer wins.
+            if ctx.rank < neighbor.rank:
+                accept = False
+            # Higher rank: accept the incoming one; our own outstanding
+            # offer will be rejected by the (lower-ranked) neighbour.
+        if accept:
+            state.incoming_expected[side] = True
+        reply_kind = f"lb_reply_from_{_opposite(side)}"
+        ctx.node.send(
+            neighbor.node,
+            reply_kind,
+            {"accept": accept},
+            self.run.config.header_bytes,
+        )
+
+    def _on_reply(self, ctx: RankContext, side: str, msg: Message) -> None:
+        """Our offer toward ``side`` was answered."""
+        run, cfg = self.run, self.cfg
+        state = self.lb[ctx.rank]
+        offered = state.outgoing[side]
+        if offered is None:
+            return  # defensive: reply without an outstanding offer
+        state.outgoing[side] = None
+        neighbor = run.neighbor(ctx.rank, side)
+        assert neighbor is not None
+        data_kind = f"lb_data_from_{_opposite(side)}"
+        if not msg.payload["accept"]:
+            state.offers_rejected += 1
+            _adapt_period(state, cfg, productive=False)
+            state.ok_to_try = (
+                state.current_period if cfg.adaptive else cfg.retry_delay
+            )
+            return
+        # Re-validate the amount against the current block (it may have
+        # shrunk since the offer); cancel with a zero-count message so
+        # the receiver clears its expectation.
+        nb = min(offered, ctx.n_local - cfg.min_components)
+        if nb < 1:
+            ctx.node.send(
+                neighbor.node, data_kind, {"n": 0}, run.config.header_bytes
+            )
+            return
+        payload = run.problem.split(ctx.state, nb, side)
+        lo, hi = run.partition.record_send(ctx.rank, nb, side)
+        if side == "left":
+            ctx.lo = hi
+            ctx.halo_left = run.problem.payload_edge_halo(payload, "last")
+        else:
+            ctx.hi = lo
+            ctx.halo_right = run.problem.payload_edge_halo(payload, "first")
+        receiver_halo = run.problem.halo_out(ctx.state, side)
+        nbytes = (
+            nb * run.problem.component_nbytes()
+            + run.problem.halo_nbytes()
+            + run.config.header_bytes
+        )
+        sent = ctx.node.send(
+            neighbor.node,
+            data_kind,
+            {
+                "n": nb,
+                "lo": lo,
+                "hi": hi,
+                "components": payload,
+                "halo": receiver_halo,
+            },
+            nbytes,
+            exclusive=True,
+        )
+        assert sent, "data channel was checked idle before offering"
+        state.migrations_out += 1
+        _adapt_period(state, cfg, productive=True)
+        state.ok_to_try = state.current_period  # Algorithm 5: OkToTryLB = 20
+        run.monitor.reset_rank(ctx.rank)
+        run.monitor.reset_rank(neighbor.rank)
+        if run.detector is not None:
+            run.detector.reset_rank(ctx.rank)
+            run.detector.reset_rank(neighbor.rank)
+        run.tracer.migration(
+            MigrationRecord(
+                src_rank=ctx.rank,
+                dst_rank=neighbor.rank,
+                n_components=nb,
+                time=run.sim.now,
+                src_residual=ctx.estimator.value(),
+                dst_residual=ctx.neighbor_estimate[side],
+            )
+        )
+
+    def _on_data(self, ctx: RankContext, side: str, msg: Message) -> None:
+        """Migrated components arrived from ``side``; merge them."""
+        run = self.run
+        state = self.lb[ctx.rank]
+        payload = msg.payload
+        if payload["n"] == 0:
+            state.incoming_expected[side] = False
+            return
+        lo, hi = payload["lo"], payload["hi"]
+        # The handshake guarantees adjacency; a violation is a bug.
+        if side == "right" and lo != ctx.hi:
+            raise RuntimeError(
+                f"rank {ctx.rank}: migration [{lo},{hi}) from the right is "
+                f"not adjacent to block [{ctx.lo},{ctx.hi})"
+            )
+        if side == "left" and hi != ctx.lo:
+            raise RuntimeError(
+                f"rank {ctx.rank}: migration [{lo},{hi}) from the left is "
+                f"not adjacent to block [{ctx.lo},{ctx.hi})"
+            )
+        merge_side = "right" if side == "right" else "left"
+        run.problem.merge(ctx.state, payload["components"], merge_side)
+        if side == "right":
+            ctx.hi = hi
+            ctx.halo_right = payload["halo"]
+        else:
+            ctx.lo = lo
+            ctx.halo_left = payload["halo"]
+        run.partition.record_receive(ctx.rank, lo, hi)
+        state.incoming_expected[side] = False
+        run.monitor.reset_rank(ctx.rank)
+        if run.detector is not None:
+            run.detector.reset_rank(ctx.rank)
+        if self.cfg.adaptive:
+            # Imbalance just arrived here (it travels as a front of
+            # migrations): react at full frequency — this rank may need
+            # to pass components onward immediately.
+            state.current_period = self.cfg.period_min
+            state.ok_to_try = 0
+            state.fruitless_streak = 0
+
+
+def _balanced_process(balanced: _BalancedRun, ctx: RankContext):
+    """The main loop of Algorithm 4."""
+    run = balanced.run
+    state = balanced.lb[ctx.rank]
+    exclusive = run.config.exclusive_sends
+    while not ctx.node.stop_requested:
+        # -- load-balancing trial (left first, then right: Algorithm 4) --
+        if state.ok_to_try <= 0:
+            left = balanced.try_lb(ctx, "left")
+            right = left if left == "offered" else balanced.try_lb(ctx, "right")
+            # Fixed-period mode (the paper): the counter is reset only
+            # when a migration is actually performed (Algorithm 5);
+            # otherwise the node retries at the next iteration.
+            # Adaptive mode: back off only when *both* sides are
+            # genuinely balanced/converged/famine-blocked — transient
+            # obstacles (in-flight data, missing info) retry next sweep.
+            fruitless = {"balanced", "converged", "famine", "edge"}
+            if balanced.cfg.adaptive:
+                if left == "offered" or right == "offered":
+                    # Imbalance detected: look again soon.
+                    _adapt_period(state, balanced.cfg, productive=True)
+                    state.fruitless_streak = 0
+                elif left in fruitless and right in fruitless:
+                    state.fruitless_streak += 1
+                    if state.fruitless_streak >= 3:
+                        _adapt_period(state, balanced.cfg, productive=False)
+                        state.ok_to_try = state.current_period
+                        state.fruitless_streak = 0
+        else:
+            state.ok_to_try -= 1
+        # -- one sweep with mid-sweep left send (Algorithm 1 core) --
+        yield from run.sweep(ctx, send_left_mid_sweep=True, exclusive=exclusive)
+        if ctx.node.stop_requested:
+            break
+        run.send_halo(
+            ctx, "right", estimate=ctx.estimator.value(), exclusive=exclusive
+        )
+
+
+def run_balanced_aiac(
+    problem: Problem,
+    platform: Platform,
+    config: SolverConfig | None = None,
+    lb_config: LBConfig | None = None,
+    *,
+    host_order: list[int] | None = None,
+) -> RunResult:
+    """Solve with AIAC coupled to decentralized dynamic load balancing.
+
+    This is the paper's contribution: the solver of
+    :func:`repro.core.solver.run_aiac` plus the residual-driven,
+    neighbour-local migration protocol of Algorithms 4–7.
+    """
+    run = build_chain(
+        problem, platform, config, model="aiac+lb", host_order=host_order
+    )
+    balanced = _BalancedRun(run, lb_config if lb_config is not None else LBConfig())
+    for ctx in run.ranks:
+        run.sim.spawn(f"lb-rank-{ctx.rank}", _balanced_process(balanced, ctx))
+    run.run()
+    result = run.result()
+    result.meta["offers_sent"] = sum(s.offers_sent for s in balanced.lb)
+    result.meta["offers_rejected"] = sum(s.offers_rejected for s in balanced.lb)
+    result.meta["final_sizes"] = run.partition.sizes()
+    return result

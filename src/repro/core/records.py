@@ -1,0 +1,129 @@
+"""Run results: everything a solver run produces, in one record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.runtime.tracer import Tracer
+
+__all__ = ["RunResult"]
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of one parallel solve on the simulated platform.
+
+    Attributes
+    ----------
+    model:
+        Execution model name (``"sisc"``, ``"siac"``, ``"aiac"``,
+        ``"aiac+lb"``).
+    converged:
+        Whether global convergence was detected before the budget ran
+        out.
+    time:
+        Virtual time at convergence (or at abort).
+    iterations:
+        Per-rank sweep counts.
+    work:
+        Per-rank total work units performed.
+    solution_blocks:
+        Per-rank local solution arrays in rank (= global) order;
+        concatenate along axis 0 for the global solution.
+    final_partition:
+        Per-rank ``(lo, hi)`` blocks at the end of the run.
+    residuals_at_stop:
+        Last reported local residual of every rank.
+    tracer:
+        The execution trace (iteration spans, messages, migrations, …).
+    n_migrations, components_migrated:
+        Load-balancing activity totals.
+    meta:
+        Free-form extras (scenario name, seed, config echoes).
+    """
+
+    model: str
+    converged: bool
+    time: float
+    iterations: list[int]
+    work: list[float]
+    solution_blocks: list[np.ndarray]
+    final_partition: list[tuple[int, int]]
+    residuals_at_stop: list[float]
+    tracer: Tracer
+    n_migrations: int = 0
+    components_migrated: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(self.work))
+
+    @property
+    def total_iterations(self) -> int:
+        return int(sum(self.iterations))
+
+    def solution(self) -> np.ndarray:
+        """The assembled global solution (components in global order)."""
+        return np.concatenate(self.solution_blocks, axis=0)
+
+    def max_error_vs(self, reference: np.ndarray) -> float:
+        """Infinity-norm distance of the assembled solution to ``reference``."""
+        sol = self.solution()
+        if sol.shape != reference.shape:
+            raise ValueError(
+                f"solution shape {sol.shape} != reference shape {reference.shape}"
+            )
+        return float(np.max(np.abs(sol - reference)))
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        status = "converged" if self.converged else "NOT CONVERGED"
+        return (
+            f"{self.model}: {status} at t={self.time:.2f}s, "
+            f"{self.total_iterations} sweeps over {self.n_ranks} ranks, "
+            f"work={self.total_work:.0f}, migrations={self.n_migrations}"
+        )
+
+    def to_dict(self, *, include_solution: bool = False) -> dict[str, Any]:
+        """JSON-serialisable summary of the run.
+
+        Detailed traces are reduced to counts; set ``include_solution``
+        to embed the solution blocks (as nested lists — large).
+        """
+        data: dict[str, Any] = {
+            "model": self.model,
+            "converged": self.converged,
+            "time": self.time,
+            "iterations": list(self.iterations),
+            "work": list(self.work),
+            "final_partition": [list(block) for block in self.final_partition],
+            "residuals_at_stop": list(self.residuals_at_stop),
+            "n_migrations": self.n_migrations,
+            "components_migrated": self.components_migrated,
+            "n_messages": len(self.tracer.messages),
+            "meta": {
+                k: v
+                for k, v in self.meta.items()
+                if isinstance(v, (str, int, float, bool, list, type(None)))
+            },
+        }
+        if include_solution:
+            data["solution_blocks"] = [
+                block.tolist() for block in self.solution_blocks
+            ]
+        return data
+
+    def save_json(self, path: str, *, include_solution: bool = False) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(include_solution=include_solution), fh, indent=2)

@@ -1,0 +1,469 @@
+"""Chain machinery and the unbalanced AIAC solver (paper Algorithm 1).
+
+One *rank* per host, organised in a logical linear chain (the paper maps
+the spatial components over linearly organised processors).  Each rank
+runs a simulated process:
+
+1. perform one relaxation sweep on its block (the numerics run for real;
+   the counted work is converted to virtual time by the host);
+2. part-way through the sweep, asynchronously send the updated *left*
+   boundary component to the left neighbour (Algorithm 1 sends it "if
+   j = StartC + 2", i.e. as soon as it is updated);
+3. at the end of the sweep, send the *right* boundary component;
+4. repeat until the convergence monitor raises the stop flag.
+
+Boundary messages carry the component's **global position** and the
+sender's residual/estimate (Algorithm 4); receive handlers drop data
+whose position no longer matches the expected halo index — exactly the
+paper's Algorithm 7 guard against messages crossing a repartition.
+
+With ``config.exclusive_sends`` (default) a boundary send is suppressed
+while the previous one on that channel is still in flight — the mutual
+exclusion that "generates less communications" (Figure 4 variant).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.convergence import SupervisorMonitor, TokenRingDetector
+from repro.core.estimators import LoadEstimator, ResidualEstimator
+from repro.core.partition import PartitionRegistry
+from repro.core.records import RunResult
+from repro.des import Hold, Signal, Simulator
+from repro.grid.platform import Platform
+from repro.problems.base import Problem
+from repro.runtime.message import Message
+from repro.runtime.node import GridNode
+from repro.runtime.tracer import IterationSpan, ResidualRecord, Tracer
+
+__all__ = ["ChainRun", "RankContext", "run_aiac", "build_chain"]
+
+
+@dataclass(slots=True)
+class RankContext:
+    """Everything one rank of the chain knows and mutates.
+
+    Shared (PM2-style) between the rank's main process and its receive
+    handlers, which is safe because DES handlers are atomic.
+    """
+
+    rank: int
+    node: GridNode
+    state: Any
+    lo: int
+    hi: int
+    halo_left: Any
+    halo_right: Any
+    #: Iteration number stamped on the freshest halo from each side
+    #: (used by the synchronous models to wait for the right data).
+    halo_iter_left: int = -1
+    halo_iter_right: int = -1
+    #: Fired whenever a halo arrives (synchronous models wait on it).
+    halo_signal: Signal = field(default_factory=lambda: Signal("halo"))
+    #: Freshest known neighbour load estimates (piggybacked).
+    neighbor_estimate: dict[str, float] = field(
+        default_factory=lambda: {"left": float("inf"), "right": float("inf")}
+    )
+    estimator: LoadEstimator = field(default_factory=ResidualEstimator)
+    iteration: int = 0
+    residual: float = float("inf")
+    #: Residual of the previous sweep (piggybacked on mid-sweep sends,
+    #: as in Algorithm 4's "residual of previous iteration").
+    prev_residual: float = float("inf")
+    #: Count of halo payloads dropped by the position guard.
+    stale_halos_dropped: int = 0
+
+    @property
+    def n_local(self) -> int:
+        return self.hi - self.lo
+
+
+class ChainRun:
+    """A configured chain of ranks over a platform, ready to run."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        platform: Platform,
+        config: SolverConfig,
+        *,
+        model: str,
+        host_order: list[int] | None = None,
+    ) -> None:
+        self.problem = problem
+        # Each run gets a private copy of the platform: network FIFO
+        # state and lazily-generated load traces are mutable, and runs
+        # compared against each other must see identical conditions (the
+        # copy replays the same seeded traces from t = 0).
+        self.platform = copy.deepcopy(platform)
+        platform = self.platform
+        self.config = config
+        self.model = model
+        n_ranks = len(platform.hosts)
+        if host_order is None:
+            host_order = list(range(n_ranks))
+        if sorted(host_order) != list(range(n_ranks)):
+            raise ValueError(
+                f"host_order must be a permutation of 0..{n_ranks - 1}, "
+                f"got {host_order!r}"
+            )
+        self.host_order = host_order
+        self.sim = Simulator()
+        self.tracer = Tracer(enabled=config.trace)
+        self.partition = PartitionRegistry(problem.n_components, n_ranks)
+        #: Overridden by the load-balanced driver: True while ``rank``
+        #: has unfinished migration-protocol state (offer out, accepted
+        #: incoming, data in flight) — detection must not conclude then.
+        self.rank_busy: Callable[[int], bool] = lambda rank: False
+        in_flight = lambda: self.partition.n_in_flight > 0  # noqa: E731
+        self.detector: TokenRingDetector | None = None
+        if config.detection == "token_ring":
+            # The oracle keeps *recording* (so the protocol's detection
+            # overhead is measurable) but no longer stops the run.
+            self.monitor = SupervisorMonitor(
+                n_ranks,
+                config.tolerance,
+                config.persistence,
+                lambda: None,
+                hold_while=in_flight,
+            )
+            self.detector = TokenRingDetector(
+                n_ranks, config.tolerance, config.persistence
+            )
+            self.detection_stop_time: float | None = None
+        else:
+            self.monitor = SupervisorMonitor(
+                n_ranks,
+                config.tolerance,
+                config.persistence,
+                self._on_converged,
+                hold_while=in_flight,
+            )
+            self.detection_stop_time = None
+        self.ranks: list[RankContext] = []
+        self.aborted_reason: str | None = None
+        for rank in range(n_ranks):
+            host = platform.hosts[host_order[rank]]
+            node = GridNode(self.sim, rank, host, platform.network, self.tracer)
+            lo, hi = self.partition.block(rank)
+            ctx = RankContext(
+                rank=rank,
+                node=node,
+                state=problem.initial_state(lo, hi),
+                lo=lo,
+                hi=hi,
+                halo_left=problem.initial_halo(lo - 1),
+                halo_right=problem.initial_halo(hi),
+            )
+            self.ranks.append(ctx)
+        for ctx in self.ranks:
+            self._register_halo_handlers(ctx)
+            if self.detector is not None:
+                ctx.node.register_handler(
+                    "detect_token",
+                    lambda msg, c=ctx: self._on_detect_token(c, msg),
+                )
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        return len(self.ranks)
+
+    def neighbor(self, rank: int, side: str) -> RankContext | None:
+        idx = rank - 1 if side == "left" else rank + 1
+        if 0 <= idx < self.n_ranks:
+            return self.ranks[idx]
+        return None
+
+    def _on_converged(self) -> None:
+        for ctx in self.ranks:
+            ctx.node.stop_requested = True
+        self.sim.stop()
+
+    def abort(self, reason: str) -> None:
+        """Abort the run (budget exhausted, solver failure)."""
+        if self.aborted_reason is None:
+            self.aborted_reason = reason
+        for ctx in self.ranks:
+            ctx.node.stop_requested = True
+        self.sim.stop()
+
+    def _register_halo_handlers(self, ctx: RankContext) -> None:
+        ctx.node.register_handler(
+            "halo_from_left", lambda msg, c=ctx: self._on_halo(c, "left", msg)
+        )
+        ctx.node.register_handler(
+            "halo_from_right", lambda msg, c=ctx: self._on_halo(c, "right", msg)
+        )
+
+    def _on_halo(self, ctx: RankContext, side: str, msg: Message) -> None:
+        """Receive handler (Algorithms 2/3/7): position-checked halo update."""
+        payload = msg.payload
+        expected = ctx.lo - 1 if side == "left" else ctx.hi
+        # The sender's estimate is taken even when the data is stale
+        # (Algorithm 7 receives the residual unconditionally).
+        ctx.neighbor_estimate[side] = payload["estimate"]
+        if payload["position"] != expected:
+            ctx.stale_halos_dropped += 1
+            return
+        if side == "left":
+            ctx.halo_left = payload["data"]
+            ctx.halo_iter_left = payload["iteration"]
+        else:
+            ctx.halo_right = payload["data"]
+            ctx.halo_iter_right = payload["iteration"]
+        ctx.halo_signal.trigger(self.sim)
+
+    # ------------------------------------------------------------------
+    # Decentralized detection (token ring; SolverConfig.detection)
+    # ------------------------------------------------------------------
+    def _send_token(self, ctx: RankContext, token: dict, direction: int) -> None:
+        neighbor = self.neighbor(ctx.rank, "right" if direction > 0 else "left")
+        assert neighbor is not None, "token routed off the chain"
+        ctx.node.send(
+            neighbor.node, "detect_token", token, self.config.header_bytes
+        )
+
+    def _on_detect_token(self, ctx: RankContext, msg: Message) -> None:
+        assert self.detector is not None
+        if self.rank_busy(ctx.rank):
+            # Unfinished migration protocol: this rank cannot vouch for
+            # its residual yet — treat it as unconverged (cancels the
+            # round).
+            self.detector.reset_rank(ctx.rank)
+        forward, direction = self.detector.on_token(ctx.rank, msg.payload)
+        if self.detector.converged:
+            ctx.node.stop_requested = True
+            self.detection_stop_time = self.sim.now
+        if forward is not None:
+            self._send_token(ctx, forward, direction)
+
+    def _detection_after_sweep(self, ctx: RankContext) -> None:
+        assert self.detector is not None
+        self.detector.report(ctx.rank, ctx.residual)
+        if self.rank_busy(ctx.rank):
+            self.detector.reset_rank(ctx.rank)
+            return
+        if self.detector.converged and self.detector.n_ranks == 1:
+            ctx.node.stop_requested = True
+            self.detection_stop_time = self.sim.now
+            return
+        token = self.detector.should_launch(ctx.rank)
+        if token is not None:
+            self._send_token(ctx, token, +1)
+        elif self.detector.converged and ctx.rank == 0:
+            ctx.node.stop_requested = True
+            self.detection_stop_time = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Sending boundaries
+    # ------------------------------------------------------------------
+    def send_halo(
+        self,
+        ctx: RankContext,
+        side: str,
+        *,
+        estimate: float,
+        exclusive: bool,
+        iteration: int | None = None,
+    ) -> bool:
+        """Send the boundary component on ``side`` to that neighbour.
+
+        ``iteration`` stamps the payload (defaults to the rank's current
+        sweep count); mid-sweep sends stamp the sweep in progress so the
+        synchronous models can wait for exactly their neighbours'
+        previous-iteration data.
+        """
+        neighbor = self.neighbor(ctx.rank, side)
+        if neighbor is None:
+            return False
+        kind = "halo_from_right" if side == "left" else "halo_from_left"
+        position = ctx.lo if side == "left" else ctx.hi - 1
+        payload = {
+            "data": self.problem.halo_out(ctx.state, side),
+            "position": position,
+            "estimate": estimate,
+            "iteration": ctx.iteration if iteration is None else iteration,
+        }
+        nbytes = self.problem.halo_nbytes() + self.config.header_bytes
+        return ctx.node.send(
+            neighbor.node, kind, payload, nbytes, exclusive=exclusive
+        )
+
+    # ------------------------------------------------------------------
+    # The common sweep (used by every execution model)
+    # ------------------------------------------------------------------
+    def sweep(
+        self, ctx: RankContext, *, send_left_mid_sweep: bool, exclusive: bool
+    ) -> Generator[Any, Any, float]:
+        """Compute one sweep, holding virtual time; returns the duration.
+
+        The numerics run eagerly (their results are deterministic), but
+        the virtual time they cost is paid by two ``Hold``s so that the
+        left boundary send fires *during* the sweep at the configured
+        overlap point, as in Algorithm 1.
+        """
+        pre_estimate = ctx.estimator.value()
+        result = self.problem.iterate(ctx.state, ctx.halo_left, ctx.halo_right)
+        t0 = ctx.node.sim.now
+        duration = ctx.node.host.duration_for_work(result.total_work, t0)
+        # Polling throttle for near-free (fully skipped) sweeps.
+        duration = max(duration, self.config.min_sweep_duration)
+        first = duration * self.config.overlap_split
+        yield Hold(first)
+        if send_left_mid_sweep:
+            # Mid-sweep left send carries the *previous* sweep's estimate
+            # (this sweep's residual is not known yet in the real code)
+            # but the data and iteration stamp of the sweep in progress.
+            self.send_halo(
+                ctx,
+                "left",
+                estimate=pre_estimate,
+                exclusive=exclusive,
+                iteration=ctx.iteration + 1,
+            )
+        yield Hold(duration - first)
+
+        ctx.iteration += 1
+        ctx.prev_residual = ctx.residual
+        ctx.residual = result.local_residual
+        residual_l2 = float(np.linalg.norm(result.residuals))
+        ctx.estimator.update(ctx.residual, residual_l2, duration, ctx.n_local)
+        self.tracer.iteration(
+            IterationSpan(
+                rank=ctx.rank,
+                iteration=ctx.iteration,
+                t0=t0,
+                t1=ctx.node.sim.now,
+                work=result.total_work,
+            )
+        )
+        self.tracer.residual(
+            ResidualRecord(
+                rank=ctx.rank,
+                iteration=ctx.iteration,
+                time=ctx.node.sim.now,
+                residual=ctx.residual,
+                n_local=ctx.n_local,
+            )
+        )
+        self.monitor.report(ctx.rank, ctx.residual, ctx.node.sim.now)
+        if self.detector is not None and not ctx.node.stop_requested:
+            self._detection_after_sweep(ctx)
+        if ctx.iteration >= self.config.max_iterations:
+            self.abort(
+                f"rank {ctx.rank} exceeded max_iterations="
+                f"{self.config.max_iterations}"
+            )
+        return duration
+
+    # ------------------------------------------------------------------
+    # Running / result assembly
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        self.sim.run(until=self.config.max_time)
+
+    def result(self) -> RunResult:
+        blocks = sorted(self.ranks, key=lambda c: c.lo)
+        if self.detector is not None:
+            converged = self.detector.converged
+            time = (
+                self.detection_stop_time
+                if self.detection_stop_time is not None
+                else self.sim.now
+            )
+        else:
+            converged = self.monitor.converged
+            time = (
+                self.monitor.convergence_time
+                if self.monitor.convergence_time is not None
+                else self.sim.now
+            )
+        return RunResult(
+            model=self.model,
+            converged=converged,
+            time=time,
+            iterations=[c.iteration for c in self.ranks],
+            work=[self.tracer.busy_time_of(c.rank) for c in self.ranks]
+            if self.tracer.enabled
+            else [0.0] * self.n_ranks,
+            solution_blocks=[self.problem.solution(c.state) for c in blocks],
+            final_partition=[(c.lo, c.hi) for c in self.ranks],
+            residuals_at_stop=[c.residual for c in self.ranks],
+            tracer=self.tracer,
+            n_migrations=self.tracer.n_migrations(),
+            components_migrated=self.tracer.components_migrated(),
+            meta={
+                "aborted_reason": self.aborted_reason,
+                "stale_halos_dropped": sum(
+                    c.stale_halos_dropped for c in self.ranks
+                ),
+                # With token-ring detection the oracle keeps recording,
+                # so the protocol's overhead is (time - oracle time).
+                "oracle_detection_time": self.monitor.convergence_time,
+                "detection_messages": (
+                    self.detector.messages_used if self.detector else 0
+                ),
+                # Network totals (this run's private platform copy).
+                "network_bytes": self.platform.network.bytes_sent,
+                "network_messages": self.platform.network.messages_sent,
+            },
+        )
+
+
+def build_chain(
+    problem: Problem,
+    platform: Platform,
+    config: SolverConfig | None = None,
+    *,
+    model: str = "aiac",
+    host_order: list[int] | None = None,
+) -> ChainRun:
+    """Construct a chain run without starting it (for custom drivers)."""
+    return ChainRun(
+        problem,
+        platform,
+        config if config is not None else SolverConfig(),
+        model=model,
+        host_order=host_order,
+    )
+
+
+def _aiac_process(run: ChainRun, ctx: RankContext):
+    """The main loop of Algorithm 1 (no load balancing)."""
+    exclusive = run.config.exclusive_sends
+    while not ctx.node.stop_requested:
+        yield from run.sweep(ctx, send_left_mid_sweep=True, exclusive=exclusive)
+        if ctx.node.stop_requested:
+            break
+        self_estimate = ctx.estimator.value()
+        run.send_halo(ctx, "right", estimate=self_estimate, exclusive=exclusive)
+
+
+def run_aiac(
+    problem: Problem,
+    platform: Platform,
+    config: SolverConfig | None = None,
+    *,
+    host_order: list[int] | None = None,
+) -> RunResult:
+    """Solve ``problem`` with the unbalanced AIAC algorithm (Algorithm 1).
+
+    Every processor iterates on whatever halo data is available —
+    no waiting, no synchronisation.  Returns the :class:`RunResult`.
+    """
+    run = build_chain(
+        problem, platform, config, model="aiac", host_order=host_order
+    )
+    for ctx in run.ranks:
+        run.sim.spawn(f"aiac-rank-{ctx.rank}", _aiac_process(run, ctx))
+    run.run()
+    return run.result()

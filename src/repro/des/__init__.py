@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation (DES) kernel.
+
+This package is the execution substrate that replaces the paper's real
+testbed (the PM2 runtime on a 2003 computational grid).  It provides:
+
+* :class:`~repro.des.simulator.Simulator` — the event loop with a virtual
+  clock,
+* :class:`~repro.des.process.Process` — generator-based cooperative
+  processes (one per simulated machine / handler thread),
+* :class:`~repro.des.process.Hold` / :class:`~repro.des.process.Wait` —
+  the commands a process yields to consume virtual time or block on a
+  :class:`~repro.des.process.Signal`,
+* :mod:`~repro.des.sync` — barriers and mutexes in virtual time.
+
+Determinism: simultaneous events are ordered by their scheduling sequence
+number, so a run is a pure function of its inputs (DESIGN.md §7).
+"""
+
+from repro.des.event import EventQueue, ScheduledEvent
+from repro.des.process import Hold, Process, ProcessDied, Signal, Wait
+from repro.des.simulator import Simulator, SimulationError
+from repro.des.sync import Barrier, Mutex
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "Hold",
+    "Wait",
+    "Signal",
+    "Process",
+    "ProcessDied",
+    "Simulator",
+    "SimulationError",
+    "Barrier",
+    "Mutex",
+]

@@ -1,0 +1,79 @@
+"""Event records and the time-ordered event queue.
+
+The queue is a binary heap keyed by ``(time, seq)`` where ``seq`` is a
+monotonically increasing scheduling counter.  Ties in virtual time are
+therefore resolved in scheduling order, which makes every simulation run
+deterministic: there is no dependence on hash ordering, thread timing or
+allocation addresses.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["ScheduledEvent", "EventQueue"]
+
+
+@dataclass(slots=True)
+class ScheduledEvent:
+    """A callback scheduled at a point in virtual time.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the callback fires.
+    seq:
+        Scheduling sequence number; breaks ties among simultaneous events.
+    callback:
+        Zero-argument callable invoked by the simulator; arguments are
+        bound at scheduling time (see :meth:`EventQueue.push`).
+    cancelled:
+        Cancelled events stay in the heap but are skipped on pop.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any]
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`ScheduledEvent`."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[[], Any]) -> ScheduledEvent:
+        """Schedule ``callback`` at ``time`` and return its event record."""
+        event = ScheduledEvent(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def pop(self) -> ScheduledEvent | None:
+        """Return the next non-cancelled event, or ``None`` if empty."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the time of the next non-cancelled event without popping."""
+        while self._heap:
+            _, _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return event.time
+        return None

@@ -1,0 +1,149 @@
+"""Generator-based simulated processes.
+
+A *process* is a Python generator that yields commands to the simulator:
+
+* ``yield Hold(duration)`` — consume ``duration`` units of virtual time
+  (e.g. a block of computation whose length the platform model decided);
+* ``yield Wait(signal)`` — block until ``signal`` is triggered; the
+  ``yield`` expression evaluates to the payload passed to
+  :meth:`Signal.trigger`;
+* ``yield None`` — yield control, resuming at the same virtual time after
+  already-scheduled simultaneous events (a cooperative "checkpoint").
+
+Processes share memory freely — exactly like the PM2 handler threads of
+the paper — but are never preempted between yields, so state mutations
+within one step are atomic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.simulator import Simulator
+
+__all__ = ["Hold", "Wait", "Signal", "Process", "ProcessDied"]
+
+
+@dataclass(slots=True, frozen=True)
+class Hold:
+    """Command: advance this process by ``duration`` of virtual time."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"Hold duration must be >= 0, got {self.duration!r}")
+
+
+@dataclass(slots=True, frozen=True)
+class Wait:
+    """Command: block until ``signal`` is triggered."""
+
+    signal: "Signal"
+
+
+class Signal:
+    """A triggerable condition that processes can wait on.
+
+    Each :meth:`trigger` wakes every process currently waiting; processes
+    that start waiting afterwards wait for the *next* trigger.  A payload
+    passed to :meth:`trigger` becomes the value of the waiting process's
+    ``yield`` expression.
+    """
+
+    __slots__ = ("name", "_waiters", "trigger_count")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list[Process] = []
+        self.trigger_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiters)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def trigger(self, sim: "Simulator", payload: Any = None) -> int:
+        """Wake all current waiters at the current virtual time.
+
+        Returns the number of processes woken.  Wake-ups are scheduled as
+        events (not run inline) so triggering from inside a handler keeps
+        the deterministic event order.
+        """
+        self.trigger_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            sim._schedule_resume(process, payload)
+        return len(waiters)
+
+
+class ProcessDied(RuntimeError):
+    """Raised when interacting with a process that terminated with an error."""
+
+
+class Process:
+    """A running simulated process.
+
+    Not constructed directly — use :meth:`repro.des.Simulator.spawn`.
+    """
+
+    __slots__ = ("sim", "name", "_generator", "alive", "error", "result", "done")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        generator: Generator[Any, Any, Any],
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self.alive = True
+        self.error: BaseException | None = None
+        self.result: Any = None
+        #: Signal triggered (with the process return value) on termination.
+        self.done = Signal(f"done:{name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "dead"
+        return f"Process({self.name!r}, {state})"
+
+    def _step(self, send_value: Any) -> None:
+        """Advance the generator one command and interpret the result."""
+        try:
+            command = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:
+            self.alive = False
+            self.error = exc
+            self.sim._process_failed(self, exc)
+            return
+
+        if command is None:
+            self.sim._schedule_resume(self, None)
+        elif isinstance(command, Hold):
+            self.sim._schedule_resume(self, None, delay=command.duration)
+        elif isinstance(command, Wait):
+            command.signal._add_waiter(self)
+        else:
+            exc = TypeError(
+                f"process {self.name!r} yielded {command!r}; "
+                "expected Hold, Wait, or None"
+            )
+            self.alive = False
+            self.error = exc
+            self.sim._process_failed(self, exc)
+
+    def _finish(self, result: Any) -> None:
+        self.alive = False
+        self.result = result
+        self.done.trigger(self.sim, result)

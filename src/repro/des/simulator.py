@@ -1,0 +1,168 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the virtual clock and the event queue, spawns
+processes, and runs until a horizon, a stop request, or queue exhaustion.
+
+Error policy: an exception escaping any process or scheduled callback
+aborts the run and is re-raised from :meth:`Simulator.run` — silent
+partial results are never produced.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Generator
+
+from repro.des.event import EventQueue, ScheduledEvent
+from repro.des.process import Process, Signal, Wait
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """A process or callback raised during the event loop."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Examples
+    --------
+    >>> from repro.des import Simulator, Hold
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def worker(sim, period, label):
+    ...     for _ in range(3):
+    ...         yield Hold(period)
+    ...         log.append((sim.now, label))
+    >>> _ = sim.spawn("a", worker(sim, 1.0, "a"))
+    >>> _ = sim.spawn("b", worker(sim, 1.5, "b"))
+    >>> sim.run()
+    >>> log
+    [(1.0, 'a'), (1.5, 'b'), (2.0, 'a'), (3.0, 'b'), (3.0, 'a'), (4.5, 'b')]
+
+    At ``t == 3.0`` process ``b`` resumes before ``a``: simultaneous
+    events fire in scheduling order, and ``b``'s resume was scheduled at
+    ``t == 1.5``, before ``a``'s at ``t == 2.0``.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stop_requested = False
+        self._failure: tuple[Process | None, BaseException] | None = None
+        self.processes: list[Process] = []
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any]
+    ) -> ScheduledEvent:
+        """Schedule ``callback()`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: time={time} < now={self._now}"
+            )
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time!r}")
+        return self._queue.push(time, callback)
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], Any]
+    ) -> ScheduledEvent:
+        """Schedule ``callback()`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay!r}")
+        return self.schedule_at(self._now + delay, callback)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, generator: Generator[Any, Any, Any]) -> Process:
+        """Start a process; its first step runs at the current time."""
+        process = Process(self, name, generator)
+        self.processes.append(process)
+        self._schedule_resume(process, None)
+        return process
+
+    def _schedule_resume(
+        self, process: Process, value: Any, delay: float = 0.0
+    ) -> None:
+        self._queue.push(self._now + delay, lambda: process._step(value))
+
+    def _process_failed(self, process: Process, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = (process, exc)
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the event loop to stop after the current event."""
+        self._stop_requested = True
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or stop().
+
+        If ``until`` is given, the clock is advanced to exactly ``until``
+        when the horizon is hit with events still pending (those events
+        stay queued; ``run`` may be called again).
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is before now={self._now}")
+        self._running = True
+        self._stop_requested = False
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                try:
+                    event.callback()
+                except BaseException as exc:  # noqa: BLE001 - rewrapped below
+                    self._failure = (None, exc)
+                    break
+        finally:
+            self._running = False
+        if self._failure is not None:
+            process, exc = self._failure
+            self._failure = None
+            where = f"process {process.name!r}" if process else "scheduled callback"
+            raise SimulationError(f"{where} failed at t={self._now}: {exc!r}") from exc
+
+    def run_until_signal(self, signal: Signal, horizon: float | None = None) -> bool:
+        """Run until ``signal`` is next triggered.
+
+        Returns ``True`` if the signal fired, ``False`` if the queue
+        drained or the horizon was reached first.  Internally spawns a
+        watcher process that waits on the signal and stops the loop.
+        """
+        fired = False
+
+        def watcher(sim: "Simulator"):
+            nonlocal fired
+            yield Wait(signal)
+            fired = True
+            sim.stop()
+
+        self.spawn("_run_until_signal_watcher", watcher(self))
+        self.run(until=horizon)
+        return fired

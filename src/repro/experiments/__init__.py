@@ -1,0 +1,26 @@
+"""Experiment harness: one module per table/figure (DESIGN.md §4).
+
+Each ``run_*`` function executes the experiment and returns a result
+object with a ``report()`` method printing the same rows/series the
+paper shows; the benchmark files under ``benchmarks/`` are thin wrappers
+around these.
+"""
+
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.figures_1_to_4 import TraceFiguresResult, run_trace_figures
+from repro.experiments.models_comparison import (
+    ModelsComparisonResult,
+    run_models_comparison,
+)
+
+__all__ = [
+    "run_figure5",
+    "Figure5Result",
+    "run_table1",
+    "Table1Result",
+    "run_trace_figures",
+    "TraceFiguresResult",
+    "run_models_comparison",
+    "ModelsComparisonResult",
+]

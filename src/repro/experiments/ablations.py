@@ -1,0 +1,295 @@
+"""Ablations of the design choices DESIGN.md §6 calls out.
+
+The paper's §6 lists the conditions for effective load balancing —
+frequency "neither too high nor too low", the estimator design, and the
+accuracy/network-load trade-off — without quantifying them.  Each
+function here sweeps one knob on a fixed scenario and returns
+``(value, time, migrations)`` rows, so `bench_ablations` can print the
+actual trade-off curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.config import LBConfig, SolverConfig
+from repro.core.lb import run_balanced_aiac
+from repro.core.solver import run_aiac
+from repro.workloads.scenarios import Figure5Scenario
+
+__all__ = [
+    "AblationResult",
+    "sweep_lb_period",
+    "sweep_threshold_ratio",
+    "sweep_accuracy",
+    "sweep_estimator",
+    "sweep_min_components",
+    "compare_adaptive_period",
+    "compare_detection_protocols",
+    "compare_skip_optimisation",
+]
+
+
+@dataclass(slots=True)
+class AblationResult:
+    """Rows of one ablation sweep."""
+
+    name: str
+    parameter: str
+    values: list[Any]
+    times: list[float]
+    migrations: list[int]
+    extra: dict[str, list[Any]]
+
+    def best(self) -> Any:
+        """Parameter value with the lowest time."""
+        return self.values[self.times.index(min(self.times))]
+
+    def report(self) -> str:
+        headers = [self.parameter, "time (s)", "migrations"]
+        columns = [self.values, self.times, self.migrations]
+        for key, col in self.extra.items():
+            headers.append(key)
+            columns.append(col)
+        rows = list(zip(*columns))
+        return f"{self.name}\n" + format_table(headers, rows) + (
+            f"\nbest: {self.parameter} = {self.best()}"
+        )
+
+
+def _default_setup(n_procs: int = 8):
+    scenario = Figure5Scenario.quick()
+    problem_factory = scenario.problem
+    platform = scenario.platform(n_procs)
+    config = scenario.solver_config()
+    base_lb = scenario.lb_config()
+    return problem_factory, platform, config, base_lb
+
+
+def _sweep(
+    name: str,
+    parameter: str,
+    values: Sequence[Any],
+    *,
+    n_procs: int = 8,
+    **fixed,
+) -> AblationResult:
+    problem_factory, platform, config, base_lb = _default_setup(n_procs)
+    result = AblationResult(
+        name=name,
+        parameter=parameter,
+        values=list(values),
+        times=[],
+        migrations=[],
+        extra={},
+    )
+    for value in values:
+        lb = replace(base_lb, **{parameter: value}, **fixed)
+        run = run_balanced_aiac(problem_factory(), platform, config, lb)
+        if not run.converged:
+            raise RuntimeError(f"{name}: run with {parameter}={value} diverged")
+        result.times.append(run.time)
+        result.migrations.append(run.n_migrations)
+    return result
+
+
+def sweep_lb_period(
+    values: Sequence[int] = (1, 5, 20, 80, 320), *, n_procs: int = 8
+) -> AblationResult:
+    """§6: frequency "neither too high ... nor too low"."""
+    return _sweep(
+        "LB frequency (OkToTryLB period)", "period", values, n_procs=n_procs
+    )
+
+
+def sweep_threshold_ratio(
+    values: Sequence[float] = (1.2, 2.0, 3.0, 8.0, 64.0), *, n_procs: int = 8
+) -> AblationResult:
+    """Trigger sensitivity (Algorithm 5's ThresholdRatio)."""
+    return _sweep(
+        "trigger threshold (ThresholdRatio)",
+        "threshold_ratio",
+        values,
+        n_procs=n_procs,
+    )
+
+
+def sweep_accuracy(
+    values: Sequence[float] = (0.1, 0.25, 0.5, 1.0), *, n_procs: int = 8
+) -> AblationResult:
+    """§6: coarse vs accurate balancing (amount of data migrated)."""
+    return _sweep("migration accuracy", "accuracy", values, n_procs=n_procs)
+
+
+def sweep_min_components(
+    values: Sequence[int] = (2, 4, 8, 16), *, n_procs: int = 8
+) -> AblationResult:
+    """Famine guard (Algorithm 5's ThresholdData)."""
+    return _sweep(
+        "famine threshold (ThresholdData)",
+        "min_components",
+        values,
+        n_procs=n_procs,
+    )
+
+
+def sweep_estimator(
+    values: Sequence[str] = (
+        "residual",
+        "residual_max",
+        "iteration_time",
+        "component_count",
+    ),
+    *,
+    n_procs: int = 8,
+) -> AblationResult:
+    """§5.2: the residual against the estimators the paper dismisses."""
+    return _sweep("load estimator", "estimator", values, n_procs=n_procs)
+
+
+def compare_adaptive_period(*, n_procs: int = 8) -> AblationResult:
+    """Fixed trial periods vs the adaptive controller (paper future work).
+
+    The adaptive variant should be competitive with the best fixed
+    period while sending fewer offers once the system is balanced.
+    """
+    problem_factory, platform, config, base_lb = _default_setup(n_procs)
+    result = AblationResult(
+        name="adaptive LB frequency (paper's future work)",
+        parameter="mode",
+        values=[],
+        times=[],
+        migrations=[],
+        extra={"offers": []},
+    )
+    candidates: list[tuple[str, LBConfig]] = [
+        ("fixed-5", replace(base_lb, period=5)),
+        ("fixed-20", replace(base_lb, period=20)),
+        ("fixed-80", replace(base_lb, period=80)),
+        (
+            "adaptive",
+            # A bounded ceiling keeps the controller's worst-case
+            # reaction lag at 20 sweeps; with an unbounded ceiling the
+            # quiet early phase parks the period at its maximum and the
+            # onset of imbalance is caught late (measured: ~35% slower).
+            replace(base_lb, period=5, adaptive=True, period_min=2, period_max=20),
+        ),
+    ]
+    for name, lb in candidates:
+        run = run_balanced_aiac(problem_factory(), platform, config, lb)
+        if not run.converged:
+            raise RuntimeError(f"adaptive ablation: {name} diverged")
+        result.values.append(name)
+        result.times.append(run.time)
+        result.migrations.append(run.n_migrations)
+        result.extra["offers"].append(run.meta["offers_sent"])
+    return result
+
+
+def compare_skip_optimisation() -> AblationResult:
+    """Brusselator with/without the converged-component skip.
+
+    On a *homogeneous* platform the Brusselator's components quiesce
+    together and the skip never engages (measured: identical work — the
+    honest finding of EXPERIMENTS.md).  The regime where it bites is
+    asynchrony-induced non-uniformity: on a two-speed platform the fast
+    ranks' components sit fully converged while the slow rank grinds,
+    and skipping makes those verification sweeps nearly free.  The skip
+    variant must produce the same trajectories with less total numerical
+    work.
+    """
+    from repro.grid.host import Host
+    from repro.grid.link import Link
+    from repro.grid.network import Network
+    from repro.grid.platform import Platform
+    from repro.problems.brusselator import BrusselatorProblem
+
+    def problem(skip: bool) -> BrusselatorProblem:
+        # skip_threshold sits *above* the solver tolerance (1e-7): a
+        # skipped component's inputs change by < 1e-5, a staleness the
+        # refresh period bounds; with the threshold below the tolerance
+        # the skip could never engage before the run ends (measured).
+        return BrusselatorProblem(
+            48,
+            t_end=4.0,
+            n_steps=30,
+            skip_converged=skip,
+            skip_threshold=1e-5,
+            refresh_period=20,
+        )
+
+    network = Network(Link(latency=1e-4, bandwidth=1e8))
+    platform = Platform(
+        hosts=[
+            Host("fast-0", 40_000.0),
+            Host("fast-1", 40_000.0),
+            Host("fast-2", 40_000.0),
+            Host("slow", 5_000.0),
+        ],
+        network=network,
+    )
+    # The throttle keeps fully-skipped ranks from spinning thousands of
+    # near-free sweeps per virtual second (see SolverConfig docs).
+    config = SolverConfig(
+        tolerance=1e-7,
+        max_iterations=40_000,
+        trace=True,
+        min_sweep_duration=0.01,
+    )
+    reference = problem(False).reference_solution()
+
+    result = AblationResult(
+        name="Brusselator converged-component skip",
+        parameter="skip_converged",
+        values=[],
+        times=[],
+        migrations=[],
+        extra={"total work": [], "max error": []},
+    )
+    for skip in (False, True):
+        run = run_aiac(problem(skip), platform, config)
+        if not run.converged:
+            raise RuntimeError(f"skip={skip} run diverged")
+        result.values.append(skip)
+        result.times.append(run.time)
+        result.migrations.append(run.n_migrations)
+        total_work = sum(
+            span.work for span in run.tracer.iterations
+        )
+        result.extra["total work"].append(total_work)
+        result.extra["max error"].append(run.max_error_vs(reference))
+    return result
+
+
+def compare_detection_protocols(
+    *, n_procs: int = 8
+) -> AblationResult:
+    """Oracle vs decentralized token-ring convergence detection."""
+    problem_factory, platform, config, _ = _default_setup(n_procs)
+    result = AblationResult(
+        name="convergence detection protocol",
+        parameter="detection",
+        values=[],
+        times=[],
+        migrations=[],
+        extra={"detection messages": [], "overhead (s)": []},
+    )
+    for detection in ("oracle", "token_ring"):
+        cfg = replace(config, detection=detection)
+        run = run_aiac(problem_factory(), platform, cfg)
+        if not run.converged:
+            raise RuntimeError(f"detection={detection} run diverged")
+        result.values.append(detection)
+        result.times.append(run.time)
+        result.migrations.append(run.n_migrations)
+        result.extra["detection messages"].append(
+            run.meta["detection_messages"]
+        )
+        oracle_time = run.meta["oracle_detection_time"]
+        overhead = (
+            run.time - oracle_time if oracle_time is not None else float("nan")
+        )
+        result.extra["overhead (s)"].append(overhead)
+    return result

@@ -1,0 +1,108 @@
+"""Figure 5: execution time vs processors, with and without load balancing.
+
+Paper result: on a local homogeneous cluster both versions scale very
+well, with the balanced version a large constant factor below the
+unbalanced one (time ratio 6.2–7.4, average 6.8).
+
+Our reproduction: same platform regime and strong-scaling protocol on
+the activity-concentration workload (see
+:class:`repro.workloads.scenarios.Figure5Scenario` for why the synthetic
+problem stands in for the Brusselator here).  The shape criteria checked
+by the integration tests: both series decrease with p, and the balanced
+series sits below the unbalanced one at every p ≥ 4 with a
+substantially-greater-than-1 ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.plots import ascii_plot
+from repro.analysis.reporting import format_table
+from repro.core.lb import run_balanced_aiac
+from repro.core.solver import run_aiac
+from repro.workloads.scenarios import Figure5Scenario
+
+__all__ = ["Figure5Result", "run_figure5"]
+
+
+@dataclass(slots=True)
+class Figure5Result:
+    """One row per processor count: times of both versions and the ratio."""
+
+    proc_counts: list[int]
+    time_unbalanced: list[float]
+    time_balanced: list[float]
+    migrations: list[int] = field(default_factory=list)
+
+    @property
+    def ratios(self) -> list[float]:
+        return [
+            u / b for u, b in zip(self.time_unbalanced, self.time_balanced)
+        ]
+
+    @property
+    def mean_ratio(self) -> float:
+        ratios = self.ratios
+        return sum(ratios) / len(ratios)
+
+    def report(self) -> str:
+        rows = [
+            (p, tu, tb, r, m)
+            for p, tu, tb, r, m in zip(
+                self.proc_counts,
+                self.time_unbalanced,
+                self.time_balanced,
+                self.ratios,
+                self.migrations,
+            )
+        ]
+        table = format_table(
+            ["procs", "without LB (s)", "with LB (s)", "ratio", "migrations"],
+            rows,
+        )
+        plot = ascii_plot(
+            {
+                "without LB": (self.proc_counts, self.time_unbalanced),
+                "with LB": (self.proc_counts, self.time_balanced),
+            },
+            log_x=True,
+            log_y=True,
+            title="execution time (s) vs processors",
+            width=56,
+            height=14,
+        )
+        return (
+            "Figure 5 — homogeneous cluster, time vs processors\n"
+            f"{table}\n"
+            f"mean ratio: {self.mean_ratio:.2f}   "
+            "(paper: 6.2-7.4, average 6.8)\n"
+            f"{plot}"
+        )
+
+
+def run_figure5(scenario: Figure5Scenario | None = None) -> Figure5Result:
+    """Run the full Figure 5 sweep; use ``Figure5Scenario.quick()`` for CI."""
+    scenario = scenario if scenario is not None else Figure5Scenario()
+    result = Figure5Result(
+        proc_counts=list(scenario.proc_counts),
+        time_unbalanced=[],
+        time_balanced=[],
+        migrations=[],
+    )
+    for p in scenario.proc_counts:
+        platform = scenario.platform(p)
+        config = scenario.solver_config()
+        unbalanced = run_aiac(scenario.problem(), platform, config)
+        balanced = run_balanced_aiac(
+            scenario.problem(), platform, config, scenario.lb_config()
+        )
+        if not (unbalanced.converged and balanced.converged):
+            raise RuntimeError(
+                f"figure5 run did not converge at p={p}: "
+                f"unbalanced={unbalanced.converged}, balanced={balanced.converged}"
+            )
+        result.time_unbalanced.append(unbalanced.time)
+        result.time_balanced.append(balanced.time)
+        result.migrations.append(balanced.n_migrations)
+    return result

@@ -1,0 +1,87 @@
+"""§6 discussion: the three execution models on cluster vs grid platforms.
+
+The paper argues (based on [3] and its own results) that in the local
+homogeneous context synchronous and asynchronous algorithms "have almost
+the same behavior and performances whereas in the global context of grid
+computing, the asynchronous version reveals all its interest".  This
+experiment runs SISC / SIAC / AIAC on both platform types and reports
+the times; the shape criterion is that AIAC's advantage over SISC is
+much larger on the grid platform than on the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.core.records import RunResult
+from repro.core.solver import run_aiac
+from repro.models.siac import run_siac
+from repro.models.sisc import run_sisc
+from repro.workloads.scenarios import ModelsComparisonScenario
+
+__all__ = ["ModelsComparisonResult", "run_models_comparison"]
+
+
+@dataclass(slots=True)
+class ModelsComparisonResult:
+    cluster: dict[str, RunResult]
+    grid: dict[str, RunResult]
+
+    def advantage(self, platform: str) -> float:
+        """SISC time / AIAC time on the given platform ('cluster'/'grid')."""
+        runs = self.cluster if platform == "cluster" else self.grid
+        return runs["sisc"].time / runs["aiac"].time
+
+    def report(self) -> str:
+        rows = []
+        for model in ("sisc", "siac", "aiac"):
+            rows.append(
+                (model, self.cluster[model].time, self.grid[model].time)
+            )
+        table = format_table(
+            ["model", "cluster time (s)", "grid time (s)"], rows
+        )
+        return (
+            "Models comparison (paper §6 discussion)\n"
+            f"{table}\n"
+            f"SISC/AIAC advantage: cluster={self.advantage('cluster'):.2f}, "
+            f"grid={self.advantage('grid'):.2f} "
+            "(expected: ~1 on cluster, >> 1 on grid)"
+        )
+
+
+def run_models_comparison(
+    scenario: ModelsComparisonScenario | None = None,
+) -> ModelsComparisonResult:
+    scenario = (
+        scenario if scenario is not None else ModelsComparisonScenario()
+    )
+    config = scenario.solver_config()
+    result = ModelsComparisonResult(cluster={}, grid={})
+    for platform_name in ("cluster", "grid"):
+        if platform_name == "cluster":
+            platform = scenario.cluster_platform()
+            order = None
+        else:
+            platform = scenario.grid_platform()
+            order = scenario.host_order(platform)
+        runs = {
+            "sisc": run_sisc(
+                scenario.problem(), platform, config, host_order=order
+            ),
+            "siac": run_siac(
+                scenario.problem(), platform, config, host_order=order
+            ),
+            "aiac": run_aiac(
+                scenario.problem(), platform, config, host_order=order
+            ),
+        }
+        for name, run in runs.items():
+            if not run.converged:
+                raise RuntimeError(
+                    f"models comparison: {name} on {platform_name} "
+                    "did not converge"
+                )
+        setattr(result, platform_name, runs)
+    return result

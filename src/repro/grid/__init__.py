@@ -1,0 +1,46 @@
+"""Platform model: hosts, external-load traces, links and networks.
+
+This package models the *hardware* side of the paper's two experimental
+contexts (DESIGN.md §2):
+
+* a local homogeneous cluster — equal-speed hosts, fast uniform network;
+* a heterogeneous multi-site grid — host speeds spanning the paper's
+  PII-400 → Athlon-1.4G range, multi-user external load, slow and
+  fluctuating inter-site links.
+
+Time is virtual (driven by :mod:`repro.des`); hosts convert *work units*
+(counted operations reported by the numerics) into virtual durations by
+integrating their effective speed over their availability trace.
+"""
+
+from repro.grid.traces import (
+    AvailabilityTrace,
+    ConstantTrace,
+    MarkovTrace,
+    PiecewiseTrace,
+)
+from repro.grid.host import Host
+from repro.grid.link import Link
+from repro.grid.network import Network
+from repro.grid.platform import (
+    Platform,
+    homogeneous_cluster,
+    multi_site_grid,
+    paper_heterogeneous_grid,
+    SiteSpec,
+)
+
+__all__ = [
+    "AvailabilityTrace",
+    "ConstantTrace",
+    "PiecewiseTrace",
+    "MarkovTrace",
+    "Host",
+    "Link",
+    "Network",
+    "Platform",
+    "SiteSpec",
+    "homogeneous_cluster",
+    "multi_site_grid",
+    "paper_heterogeneous_grid",
+]

@@ -1,0 +1,182 @@
+"""Platform builders for the paper's two experimental contexts.
+
+* :func:`homogeneous_cluster` — the Figure 5 platform: ``n`` identical,
+  dedicated machines on a fast LAN.
+* :func:`multi_site_grid` — the Table 1 platform: heterogeneous machines
+  spread over sites (the paper used 15 machines in Belfort, Montbéliard
+  and Grenoble), with multi-user load traces and slow fluctuating
+  inter-site links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grid.host import Host
+from repro.grid.link import Link
+from repro.grid.network import Network
+from repro.grid.traces import ConstantTrace, MarkovTrace
+from repro.util.rng import RngTree
+from repro.util.validation import check_positive
+
+__all__ = ["Platform", "SiteSpec", "homogeneous_cluster", "multi_site_grid"]
+
+
+@dataclass
+class Platform:
+    """A set of hosts plus the network that connects them."""
+
+    hosts: list[Host]
+    network: Network
+    description: str = ""
+    sites: dict[str, list[Host]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [h.name for h in self.hosts]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate host names in platform: {names}")
+        if not self.sites:
+            self.sites = {}
+            for host in self.hosts:
+                self.sites.setdefault(host.site, []).append(host)
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def host(self, name: str) -> Host:
+        for h in self.hosts:
+            if h.name == name:
+                return h
+        raise KeyError(f"no host named {name!r}")
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Specification of one site of a heterogeneous grid.
+
+    Attributes
+    ----------
+    name:
+        Site label (e.g. ``"belfort"``).
+    n_hosts:
+        Number of machines at the site.
+    speed_range:
+        ``(low, high)`` nominal speeds; each machine draws uniformly.
+        The paper's spread was a PII-400 to an Athlon-1.4G, i.e. 400–1400.
+    load_mean_dwell:
+        Mean duration of one external-load level (multi-user churn).
+    load_range:
+        ``(low, high)`` availability left to the computation.
+    """
+
+    name: str
+    n_hosts: int
+    speed_range: tuple[float, float] = (400.0, 1400.0)
+    load_mean_dwell: float = 30.0
+    load_range: tuple[float, float] = (0.3, 1.0)
+
+
+def homogeneous_cluster(
+    n_hosts: int,
+    *,
+    speed: float = 1000.0,
+    latency: float = 1e-4,
+    bandwidth: float = 100e6,
+) -> Platform:
+    """Build the Figure 5 platform: ``n`` identical dedicated machines.
+
+    Defaults model a 100 Mb/s-class switched LAN (0.1 ms latency).
+    """
+    check_positive("n_hosts", n_hosts)
+    hosts = [
+        Host(f"node-{i:02d}", speed=speed, trace=ConstantTrace(1.0), site="cluster")
+        for i in range(n_hosts)
+    ]
+    network = Network(Link(latency=latency, bandwidth=bandwidth, name="lan"))
+    return Platform(
+        hosts=hosts,
+        network=network,
+        description=f"homogeneous cluster of {n_hosts} hosts @ {speed:g} wu/s",
+    )
+
+
+def multi_site_grid(
+    sites: list[SiteSpec],
+    rng_tree: RngTree,
+    *,
+    intra_latency: float = 1e-4,
+    intra_bandwidth: float = 100e6,
+    inter_latency: float = 15e-3,
+    inter_bandwidth: float = 1e6,
+    inter_fluctuation: tuple[float, float] = (0.2, 1.0),
+    inter_fluctuation_dwell: float = 20.0,
+) -> Platform:
+    """Build a Table 1-style heterogeneous multi-site grid.
+
+    Each host's speed is drawn from its site's ``speed_range`` and its
+    availability follows a :class:`~repro.grid.traces.MarkovTrace`
+    (multi-user utilization).  Inter-site links are slow (default 15 ms /
+    1 MB/s) and their bandwidth fluctuates, reproducing networks "between
+    which the speed may sharply vary".
+    """
+    if not sites:
+        raise ValueError("need at least one site")
+    hosts: list[Host] = []
+    for spec in sites:
+        site_rng = rng_tree.generator(f"site/{spec.name}/speeds")
+        lo, hi = spec.speed_range
+        for i in range(spec.n_hosts):
+            speed = float(site_rng.uniform(lo, hi))
+            load_rng = rng_tree.generator(f"host/{spec.name}-{i:02d}/load")
+            trace = MarkovTrace(
+                load_rng,
+                mean_dwell=spec.load_mean_dwell,
+                low=spec.load_range[0],
+                high=spec.load_range[1],
+            )
+            hosts.append(
+                Host(f"{spec.name}-{i:02d}", speed=speed, trace=trace, site=spec.name)
+            )
+
+    network = Network(Link(latency=intra_latency, bandwidth=intra_bandwidth, name="lan"))
+    site_names = [s.name for s in sites]
+    for a_idx, a in enumerate(site_names):
+        for b in site_names[a_idx + 1 :]:
+            fluct_rng = rng_tree.generator(f"wan/{a}-{b}/bandwidth")
+            bw_trace = MarkovTrace(
+                fluct_rng,
+                mean_dwell=inter_fluctuation_dwell,
+                low=inter_fluctuation[0],
+                high=inter_fluctuation[1],
+            )
+            link = Link(
+                latency=inter_latency,
+                bandwidth=inter_bandwidth,
+                bandwidth_trace=bw_trace,
+                name=f"wan:{a}-{b}",
+            )
+            network.set_site_link(a, b, link)
+
+    total = sum(s.n_hosts for s in sites)
+    return Platform(
+        hosts=hosts,
+        network=network,
+        description=f"heterogeneous grid: {total} hosts over {len(sites)} sites",
+    )
+
+
+def paper_heterogeneous_grid(rng_tree: RngTree) -> Platform:
+    """The Table 1 platform: 15 machines over 3 French sites.
+
+    Five machines per site, speeds spanning the paper's PII-400 →
+    Athlon-1.4G range, multi-user load on every machine.
+    """
+    sites = [
+        SiteSpec("belfort", 5, speed_range=(400.0, 1400.0)),
+        SiteSpec("montbeliard", 5, speed_range=(400.0, 1200.0)),
+        SiteSpec("grenoble", 5, speed_range=(600.0, 1400.0)),
+    ]
+    return multi_site_grid(sites, rng_tree)
+
+
+__all__.append("paper_heterogeneous_grid")

@@ -1,0 +1,26 @@
+"""The parallel-iterative execution-model taxonomy (paper Section 1.2).
+
+Three ways to run the same block-relaxation over the same platform:
+
+* :func:`~repro.models.sisc.run_sisc` — Synchronous Iterations,
+  Synchronous Communications: everyone exchanges at the end of each
+  iteration through a global synchronisation (Figure 1);
+* :func:`~repro.models.siac.run_siac` — Synchronous Iterations,
+  Asynchronous Communications: boundary data is sent as soon as
+  updated, overlapping communication with the rest of the sweep, but a
+  rank still waits for its neighbours' previous-iteration data
+  (Figure 2);
+* :func:`~repro.models.aiac.run_aiac_model` — Asynchronous Iterations,
+  Asynchronous Communications: no waiting at all (Figures 3/4); thin
+  wrapper over :func:`repro.core.solver.run_aiac` selecting the eager
+  (Figure 3) or mutual-exclusion (Figure 4) variant.
+
+All three share the chain machinery of :mod:`repro.core.solver`, so
+timing differences come only from the synchronisation semantics.
+"""
+
+from repro.models.sisc import run_sisc
+from repro.models.siac import run_siac
+from repro.models.aiac import run_aiac_model
+
+__all__ = ["run_sisc", "run_siac", "run_aiac_model"]

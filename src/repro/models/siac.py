@@ -1,0 +1,64 @@
+"""SIAC: Synchronous Iterations — Asynchronous Communications (Figure 2).
+
+Boundary data is sent asynchronously as soon as it is updated (the left
+boundary mid-sweep, the right at the end), overlapping transfers with
+the remaining computation.  A rank still begins iteration ``k+1`` only
+once it holds both neighbours' iteration-``k`` data — iterations remain
+synchronous *algorithmically* ("at any time it is not possible to have
+two processors performing different iterations") but there is no global
+barrier, so idle time shrinks compared to SISC without vanishing.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SolverConfig
+from repro.core.records import RunResult
+from repro.core.solver import ChainRun, RankContext, build_chain
+from repro.des import Wait
+from repro.grid.platform import Platform
+from repro.problems.base import Problem
+from repro.runtime.tracer import IdleSpan
+
+__all__ = ["run_siac"]
+
+
+def _siac_process(run: ChainRun, ctx: RankContext):
+    sim = run.sim
+    while not ctx.node.stop_requested:
+        yield from run.sweep(ctx, send_left_mid_sweep=True, exclusive=False)
+        if ctx.node.stop_requested:
+            break
+        run.send_halo(
+            ctx, "right", estimate=ctx.estimator.value(), exclusive=False
+        )
+        wait_start = sim.now
+        k = ctx.iteration
+        while not ctx.node.stop_requested:
+            need_left = ctx.rank > 0 and ctx.halo_iter_left < k
+            need_right = ctx.rank < run.n_ranks - 1 and ctx.halo_iter_right < k
+            if not (need_left or need_right):
+                break
+            yield Wait(ctx.halo_signal)
+        if sim.now > wait_start:
+            run.tracer.idle(
+                IdleSpan(
+                    rank=ctx.rank, t0=wait_start, t1=sim.now, reason="siac-wait"
+                )
+            )
+
+
+def run_siac(
+    problem: Problem,
+    platform: Platform,
+    config: SolverConfig | None = None,
+    *,
+    host_order: list[int] | None = None,
+) -> RunResult:
+    """Solve ``problem`` with the SIAC execution model."""
+    run = build_chain(
+        problem, platform, config, model="siac", host_order=host_order
+    )
+    for ctx in run.ranks:
+        run.sim.spawn(f"siac-rank-{ctx.rank}", _siac_process(run, ctx))
+    run.run()
+    return run.result()

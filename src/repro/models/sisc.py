@@ -1,0 +1,72 @@
+"""SISC: Synchronous Iterations — Synchronous Communications (Figure 1).
+
+All processors run the same iteration in lockstep: compute, exchange
+boundary data, then pass a *global* barrier (the paper's "synchronous
+global communications").  The idle time between a rank's compute phases
+— waiting for slower ranks and for message transfers — is recorded as
+:class:`~repro.runtime.tracer.IdleSpan` records, which is exactly the
+white space of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SolverConfig
+from repro.core.records import RunResult
+from repro.core.solver import ChainRun, RankContext, build_chain
+from repro.des import Barrier, Wait
+from repro.grid.platform import Platform
+from repro.problems.base import Problem
+from repro.runtime.tracer import IdleSpan
+
+__all__ = ["run_sisc"]
+
+
+def _sisc_process(run: ChainRun, ctx: RankContext, barrier: Barrier):
+    sim = run.sim
+    while not ctx.node.stop_requested:
+        yield from run.sweep(ctx, send_left_mid_sweep=False, exclusive=False)
+        if ctx.node.stop_requested:
+            break
+        estimate = ctx.estimator.value()
+        run.send_halo(ctx, "left", estimate=estimate, exclusive=False)
+        run.send_halo(ctx, "right", estimate=estimate, exclusive=False)
+        # Wait for both neighbours' data of *this* iteration.
+        wait_start = sim.now
+        k = ctx.iteration
+        while not ctx.node.stop_requested:
+            need_left = ctx.rank > 0 and ctx.halo_iter_left < k
+            need_right = ctx.rank < run.n_ranks - 1 and ctx.halo_iter_right < k
+            if not (need_left or need_right):
+                break
+            yield Wait(ctx.halo_signal)
+        if ctx.node.stop_requested:
+            break
+        # Global synchronisation: nobody starts iteration k+1 before
+        # everyone finished exchanging iteration k.
+        signal = barrier.arrive(sim)
+        if signal is not None:
+            yield Wait(signal)
+        if sim.now > wait_start:
+            run.tracer.idle(
+                IdleSpan(
+                    rank=ctx.rank, t0=wait_start, t1=sim.now, reason="sisc-sync"
+                )
+            )
+
+
+def run_sisc(
+    problem: Problem,
+    platform: Platform,
+    config: SolverConfig | None = None,
+    *,
+    host_order: list[int] | None = None,
+) -> RunResult:
+    """Solve ``problem`` with the SISC execution model."""
+    run = build_chain(
+        problem, platform, config, model="sisc", host_order=host_order
+    )
+    barrier = Barrier(run.n_ranks, name="sisc")
+    for ctx in run.ranks:
+        run.sim.spawn(f"sisc-rank-{ctx.rank}", _sisc_process(run, ctx, barrier))
+    run.run()
+    return run.result()

@@ -1,0 +1,28 @@
+"""Norms and residual measures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["max_abs_norm", "l2_norm", "relative_change"]
+
+
+def max_abs_norm(x: np.ndarray) -> float:
+    """Infinity norm; the convergence measure used throughout the paper's
+    asynchronous theory (El Tarazi's contraction results are in weighted
+    max norms)."""
+    if x.size == 0:
+        return 0.0
+    return float(np.max(np.abs(x)))
+
+
+def l2_norm(x: np.ndarray) -> float:
+    """Euclidean norm."""
+    return float(np.linalg.norm(x.ravel()))
+
+
+def relative_change(new: np.ndarray, old: np.ndarray, floor: float = 1e-30) -> float:
+    """``|new - old|_inf / max(|old|_inf, floor)`` — scale-free residual."""
+    if new.shape != old.shape:
+        raise ValueError(f"shape mismatch: {new.shape} vs {old.shape}")
+    return max_abs_norm(new - old) / max(max_abs_norm(old), floor)

@@ -1,0 +1,39 @@
+"""Block-decomposable fixed-point problems.
+
+Every solver in :mod:`repro.core` and :mod:`repro.models` operates on a
+:class:`~repro.problems.base.Problem`: a global vector of *components*
+partitioned in contiguous blocks over a logical chain of processors,
+iterated towards a fixed point, with one-component-wide halo
+dependencies on each side (the paper's "two spatial components before
+``y_p`` and after ``y_q``" — their scalar numbering interleaves u and v,
+so two scalars = one of our components).
+
+Problems:
+
+* :class:`~repro.problems.brusselator.BrusselatorProblem` — the paper's
+  evaluation problem (Section 4), as nonlinear waveform relaxation.
+* :class:`~repro.problems.synthetic.SyntheticProblem` — a controllable
+  contraction model used for large parameter sweeps.
+* :class:`~repro.problems.linear.LinearFixedPointProblem` — ``x = Ax+b``
+  contractions (the classical convergence-theory setting).
+* :class:`~repro.problems.heat.HeatProblem` — 1-D implicit heat
+  equation, a second physical example.
+"""
+
+from repro.problems.base import IterationResult, Problem
+from repro.problems.brusselator import BrusselatorProblem
+from repro.problems.synthetic import SyntheticProblem
+from repro.problems.linear import LinearFixedPointProblem, random_contraction_system
+from repro.problems.heat import HeatProblem
+from repro.problems.advection import AdvectionDiffusionProblem
+
+__all__ = [
+    "IterationResult",
+    "Problem",
+    "BrusselatorProblem",
+    "SyntheticProblem",
+    "LinearFixedPointProblem",
+    "random_contraction_system",
+    "HeatProblem",
+    "AdvectionDiffusionProblem",
+]

@@ -1,0 +1,163 @@
+"""The block-decomposable fixed-point problem interface.
+
+A problem defines a global index space of ``n_components`` *components*
+(the paper's migratable spatial unknowns).  Each solver rank owns a
+contiguous slice ``[lo, hi)`` and holds an opaque *local state* that the
+problem creates, iterates, splits and merges:
+
+* :meth:`Problem.iterate` performs one local relaxation sweep given the
+  current halo data from both neighbours, returns per-component
+  residuals and per-component **work** (in work units; see
+  :mod:`repro.numerics`), and mutates the state in place;
+* :meth:`Problem.split` / :meth:`Problem.merge` implement component
+  migration for dynamic load balancing;
+* :meth:`Problem.halo_out` extracts the boundary data a neighbour needs
+  (what the paper's Algorithm 1 sends as "the two first/last local
+  components").
+
+The solver never looks inside states or halos — everything
+problem-specific stays here, which is what lets one AIAC/LB
+implementation drive the Brusselator, linear systems, the heat equation
+and the synthetic model alike ("the principle of AIAC algorithms is
+generic", Section 5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["IterationResult", "Problem"]
+
+
+@dataclass(slots=True)
+class IterationResult:
+    """Outcome of one local relaxation sweep.
+
+    Attributes
+    ----------
+    residuals:
+        Per-component residual (infinity norm of the component's change
+        during the sweep) — the paper's load estimator.
+    work:
+        Per-component work in work units (counted Newton component-steps
+        or equivalent).
+    """
+
+    residuals: np.ndarray
+    work: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.residuals = np.asarray(self.residuals, dtype=float)
+        self.work = np.asarray(self.work, dtype=float)
+        if self.residuals.shape != self.work.shape:
+            raise ValueError(
+                f"residuals and work must align, got {self.residuals.shape} "
+                f"vs {self.work.shape}"
+            )
+
+    @property
+    def local_residual(self) -> float:
+        """Max residual over local components (the node's load estimate)."""
+        if self.residuals.size == 0:
+            return 0.0
+        return float(self.residuals.max())
+
+    @property
+    def total_work(self) -> float:
+        return float(self.work.sum())
+
+
+class Problem(ABC):
+    """A fixed-point problem decomposable over a logical chain.
+
+    Subclasses must set :attr:`n_components` and implement the abstract
+    methods.  States and halos are opaque to callers; halos must be
+    cheap, self-contained arrays (they travel in messages).
+    """
+
+    #: Global number of migratable components.
+    n_components: int
+    #: Human-readable problem name (used in reports).
+    name: str = "problem"
+
+    # ------------------------------------------------------------------
+    # State lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def initial_state(self, lo: int, hi: int) -> Any:
+        """Create the local state for global components ``[lo, hi)``."""
+
+    @abstractmethod
+    def n_local(self, state: Any) -> int:
+        """Number of components currently held by ``state``."""
+
+    @abstractmethod
+    def iterate(self, state: Any, left_halo: Any, right_halo: Any) -> IterationResult:
+        """One relaxation sweep; mutates ``state``, returns residual/work."""
+
+    # ------------------------------------------------------------------
+    # Halos
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def halo_out(self, state: Any, side: str) -> Any:
+        """Boundary data for the ``side`` neighbour ('left' or 'right')."""
+
+    @abstractmethod
+    def initial_halo(self, global_index: int) -> Any:
+        """Halo for component ``global_index`` before any message arrived.
+
+        Ranks bootstrap from the problem's initial guess, exactly like an
+        SPMD code that knows the global initial data.  Indices ``-1`` and
+        ``n_components`` denote the domain edges (boundary conditions).
+        """
+
+    @abstractmethod
+    def halo_nbytes(self) -> float:
+        """Wire size of one halo payload (drives network timing)."""
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def split(self, state: Any, n: int, side: str) -> Any:
+        """Remove the ``n`` components nearest ``side``; return the payload."""
+
+    @abstractmethod
+    def merge(self, state: Any, payload: Any, side: str) -> None:
+        """Attach a migrated payload on ``side`` of ``state`` (in place)."""
+
+    @abstractmethod
+    def component_nbytes(self) -> float:
+        """Wire size per migrated component."""
+
+    def payload_edge_halo(self, payload: Any, edge: str) -> Any:
+        """Halo-formatted view of a migration payload's first/last component.
+
+        After shipping its ``n`` leftmost components, the sender's new
+        left halo is the *last* component of the payload (its data
+        dependency now lives on the neighbour); symmetrically for the
+        right.  The default implementation assumes payloads are arrays
+        indexed by component on axis 0 and halos are single-component
+        slices (``payload[:1]`` / ``payload[-1:]``); problems whose halo
+        format differs (e.g. the Brusselator drops the leading axis)
+        override this.
+        """
+        if edge not in ("first", "last"):
+            raise ValueError(f"edge must be 'first' or 'last', got {edge!r}")
+        return payload[:1].copy() if edge == "first" else payload[-1:].copy()
+
+    # ------------------------------------------------------------------
+    # Solution access
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def solution(self, state: Any) -> np.ndarray:
+        """Local solution data, concatenable across ranks in global order."""
+
+    def check_side(self, side: str) -> str:
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        return side

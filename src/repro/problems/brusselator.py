@@ -1,0 +1,428 @@
+"""The Brusselator problem (Section 4 of the paper).
+
+The Brusselator models an autocatalytic oscillating chemical reaction.
+Discretising the 1-D reaction–diffusion form on ``N`` interior points
+gives the stiff ODE system (paper Eq. 4, identical to Hairer & Wanner's
+formulation)::
+
+    u'_i = 1 + u_i² v_i - 4 u_i + c (u_{i-1} - 2 u_i + u_{i+1})
+    v'_i = 3 u_i - u_i² v_i + c (v_{i-1} - 2 v_i + v_{i+1})
+
+with ``c = α (N+1)²``, ``α = 1/50``, time window ``[0, 10]``, initial
+conditions ``u_i(0) = 1 + sin(2π x_i)``, ``v_i(0) = 3`` and Dirichlet
+boundary values ``u = 1``, ``v = 3`` at both ends.
+
+.. note::
+   The paper's scanned text prints the boundary condition as
+   ``u_0(t) = u_{N+1}(t) = α(N+1)²`` — an obvious typesetting artifact
+   (that expression is the diffusion prefactor from the line above).  We
+   use the cited source's (Hairer & Wanner, *Solving ODEs II*) standard
+   values ``u = A = 1``, ``v = B = 3``, which also make the chemistry
+   well-posed (concentrations stay positive).
+
+Parallel formulation — nonlinear waveform relaxation
+----------------------------------------------------
+Following the paper's Algorithm 1, each *component* (one spatial pair
+``(u_i, v_i)`` — two of the paper's interleaved scalar components) keeps
+its **entire time trajectory**.  One outer iteration re-integrates every
+local component over the full window with implicit Euler, Newton-solving
+a 2×2 system per (component, time step) while the *neighbouring*
+components' trajectories are frozen at their previous iterate (Jacobi
+relaxation across space, as in Algorithm 1 where ``Ynew[j,t] =
+Solve(Yold[j,t])`` reads neighbours from ``Yold``).
+
+The lagged diffusion coupling is a contraction (the implicit treatment
+of the ``-2u_i`` term dominates the off-diagonal ``c·dt`` terms), so the
+relaxation converges to the solution of the fully-coupled implicit Euler
+discretisation — which :func:`reference_solution` computes directly and
+the test suite compares against.
+
+Work model: the per-(component, step) Newton iteration counts from
+:func:`repro.numerics.newton.newton_batched_2x2` are summed per
+component.  Converged components verify in one iteration per step;
+active components take several — per-sweep cost tracks *activity*,
+which is why the residual is the right load estimator (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numerics.euler import implicit_euler_banded
+from repro.numerics.newton import NewtonOptions, newton_batched_2x2
+from repro.problems.base import IterationResult, Problem
+from repro.util.validation import check_positive
+
+__all__ = ["BrusselatorProblem", "BrusselatorState"]
+
+#: Dirichlet boundary values (A and B of the reaction scheme).
+U_BOUNDARY = 1.0
+V_BOUNDARY = 3.0
+
+
+@dataclass(slots=True)
+class BrusselatorState:
+    """Local trajectories for components ``[lo, lo + n)``.
+
+    ``traj`` has shape ``(n_local, 2, n_steps + 1)``: axis 1 indexes
+    ``(u, v)``, axis 2 the time grid including ``t = 0``.
+
+    ``prev_res`` and ``skip_streak`` support the adaptive-skip
+    optimisation (see :class:`BrusselatorProblem`); they are ``None``
+    until the first sweep / when skipping is disabled.
+    """
+
+    lo: int
+    traj: np.ndarray
+    prev_res: np.ndarray | None = None
+    skip_streak: np.ndarray | None = None
+    last_left_halo: np.ndarray | None = None
+    last_right_halo: np.ndarray | None = None
+
+    @property
+    def n(self) -> int:
+        return self.traj.shape[0]
+
+
+class BrusselatorProblem(Problem):
+    """The paper's evaluation problem as a decomposable fixed point.
+
+    Parameters
+    ----------
+    n_points:
+        Number of interior spatial points ``N`` (components).
+    t_end:
+        End of the integration window (paper: 10).
+    n_steps:
+        Number of implicit Euler steps over ``[0, t_end]`` (``δt =
+        t_end / n_steps``).
+    alpha:
+        Diffusion parameter (paper: 1/50).
+    newton_tol, newton_max_iter:
+        Inner Newton controls per (component, step).
+    """
+
+    name = "brusselator"
+
+    def __init__(
+        self,
+        n_points: int,
+        *,
+        t_end: float = 10.0,
+        n_steps: int = 100,
+        alpha: float = 1.0 / 50.0,
+        newton_tol: float = 1e-8,
+        newton_max_iter: int = 25,
+        skip_converged: bool = False,
+        skip_threshold: float = 1e-6,
+        refresh_period: int = 20,
+    ) -> None:
+        """See class docstring; for the skip options note that
+        ``skip_threshold`` should sit one or two orders of magnitude
+        *above* the convergence tolerance you will solve to — the skip
+        trades a bounded input staleness (< threshold between
+        refreshes) for work, and a threshold below the tolerance can
+        never engage before the run ends."""
+        check_positive("n_points", n_points)
+        check_positive("t_end", t_end)
+        check_positive("n_steps", n_steps)
+        check_positive("alpha", alpha)
+        self.n_components = int(n_points)
+        self.t_end = float(t_end)
+        self.n_steps = int(n_steps)
+        self.dt = self.t_end / self.n_steps
+        self.alpha = float(alpha)
+        self.c = self.alpha * (self.n_components + 1) ** 2
+        self.newton = NewtonOptions(tol=newton_tol, max_iter=newton_max_iter)
+        self.skip_converged = bool(skip_converged)
+        self.skip_threshold = float(skip_threshold)
+        if self.skip_threshold <= 0:
+            raise ValueError(
+                f"skip_threshold must be > 0, got {skip_threshold!r}"
+            )
+        self.refresh_period = int(refresh_period)
+        if self.refresh_period < 1:
+            raise ValueError(
+                f"refresh_period must be >= 1, got {refresh_period!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Initial data
+    # ------------------------------------------------------------------
+    def x_of(self, global_index: int) -> float:
+        """Spatial coordinate ``x_i = (i+1) / (N+1)`` of component ``i``.
+
+        (The paper indexes components from 1; we use 0-based indices.)
+        """
+        return (global_index + 1) / (self.n_components + 1)
+
+    def initial_values(self, lo: int, hi: int) -> np.ndarray:
+        """Initial conditions for components ``[lo, hi)``: shape (n, 2)."""
+        idx = np.arange(lo, hi)
+        x = (idx + 1) / (self.n_components + 1)
+        u0 = 1.0 + np.sin(2.0 * np.pi * x)
+        v0 = np.full_like(u0, V_BOUNDARY)
+        return np.stack([u0, v0], axis=1)
+
+    def initial_state(self, lo: int, hi: int) -> BrusselatorState:
+        if not 0 <= lo < hi <= self.n_components:
+            raise ValueError(
+                f"invalid block [{lo}, {hi}) for {self.n_components} components"
+            )
+        init = self.initial_values(lo, hi)  # (n, 2)
+        traj = np.repeat(init[:, :, None], self.n_steps + 1, axis=2)
+        return BrusselatorState(lo=lo, traj=traj)
+
+    # ------------------------------------------------------------------
+    # Halos
+    # ------------------------------------------------------------------
+    def initial_halo(self, global_index: int) -> np.ndarray:
+        """Constant-in-time trajectory of the initial guess (or BC)."""
+        if global_index < 0 or global_index >= self.n_components:
+            # Domain edge: the Dirichlet boundary trajectory.
+            halo = np.empty((2, self.n_steps + 1))
+            halo[0] = U_BOUNDARY
+            halo[1] = V_BOUNDARY
+            return halo
+        init = self.initial_values(global_index, global_index + 1)[0]
+        return np.repeat(init[:, None], self.n_steps + 1, axis=1)
+
+    def halo_out(self, state: BrusselatorState, side: str) -> np.ndarray:
+        self.check_side(side)
+        idx = 0 if side == "left" else state.n - 1
+        return state.traj[idx].copy()
+
+    def halo_nbytes(self) -> float:
+        return 2.0 * (self.n_steps + 1) * 8.0
+
+    # ------------------------------------------------------------------
+    # One waveform-relaxation sweep
+    # ------------------------------------------------------------------
+    def _skip_mask(
+        self,
+        state: BrusselatorState,
+        left_halo: np.ndarray,
+        right_halo: np.ndarray,
+    ) -> np.ndarray:
+        """Which components may keep last sweep's trajectory untouched.
+
+        A component is skippable when its own residual *and* both its
+        neighbours' residuals were below ``skip_threshold`` last sweep
+        (neighbours across the block boundary count as quiet only if the
+        incoming halo is unchanged), and it has not been skipped for
+        ``refresh_period`` consecutive sweeps (the safety refresh).
+        Reactivation travels one component per sweep, exactly like the
+        relaxation's own information flow, so skipping never hides a
+        genuine change.
+        """
+        n = state.n
+        if (
+            not self.skip_converged
+            or state.prev_res is None
+            or state.skip_streak is None
+        ):
+            return np.zeros(n, dtype=bool)
+        thr = self.skip_threshold
+        quiet = state.prev_res < thr
+        left_edge_quiet = state.last_left_halo is not None and bool(
+            np.max(np.abs(left_halo - state.last_left_halo)) < thr
+        )
+        right_edge_quiet = state.last_right_halo is not None and bool(
+            np.max(np.abs(right_halo - state.last_right_halo)) < thr
+        )
+        left_neighbour = np.concatenate([[left_edge_quiet], quiet[:-1]])
+        right_neighbour = np.concatenate([quiet[1:], [right_edge_quiet]])
+        return (
+            quiet
+            & left_neighbour
+            & right_neighbour
+            & (state.skip_streak < self.refresh_period)
+        )
+
+    def iterate(
+        self,
+        state: BrusselatorState,
+        left_halo: np.ndarray,
+        right_halo: np.ndarray,
+    ) -> IterationResult:
+        old = state.traj
+        n = state.n
+        steps = self.n_steps
+        dt, c = self.dt, self.c
+
+        skip = self._skip_mask(state, left_halo, right_halo)
+        active = np.flatnonzero(~skip)
+
+        # Lagged neighbour trajectories: u/v of components j-1 and j+1.
+        u_left = np.vstack([left_halo[0][None, :], old[:-1, 0, :]])
+        v_left = np.vstack([left_halo[1][None, :], old[:-1, 1, :]])
+        u_right = np.vstack([old[1:, 0, :], right_halo[0][None, :]])
+        v_right = np.vstack([old[1:, 1, :], right_halo[1][None, :]])
+
+        new = old.copy()  # skipped components keep their trajectories
+        # A skipped component still pays the skip test (one unit/sweep).
+        work = np.ones(n)
+        if active.size:
+            work[active] = 0.0
+
+        for k in range(1, steps + 1):
+            if active.size == 0:
+                break
+            u_prev = new[active, 0, k - 1]
+            v_prev = new[active, 1, k - 1]
+            ul, ur = u_left[active, k], u_right[active, k]
+            vl, vr = v_left[active, k], v_right[active, k]
+
+            def f(u: np.ndarray, v: np.ndarray):
+                u_sq = u * u
+                reaction_u = 1.0 + u_sq * v - 4.0 * u
+                reaction_v = 3.0 * u - u_sq * v
+                diff_u = c * (ul - 2.0 * u + ur)
+                diff_v = c * (vl - 2.0 * v + vr)
+                f1 = u - u_prev - dt * (reaction_u + diff_u)
+                f2 = v - v_prev - dt * (reaction_v + diff_v)
+                j11 = 1.0 - dt * (2.0 * u * v - 4.0 - 2.0 * c)
+                j12 = -dt * u_sq
+                j21 = -dt * (3.0 - 2.0 * u * v)
+                j22 = 1.0 + dt * (u_sq + 2.0 * c)
+                return f1, f2, j11, j12, j21, j22
+
+            result = newton_batched_2x2(
+                f, old[active, 0, k], old[active, 1, k], self.newton
+            )
+            if not result.all_converged:
+                bad = int(np.count_nonzero(~result.converged))
+                raise RuntimeError(
+                    f"brusselator Newton failed on {bad} component(s) at "
+                    f"step {k} (block starting at {state.lo}); "
+                    "reduce dt or raise newton_max_iter"
+                )
+            new[active, 0, k] = result.u
+            new[active, 1, k] = result.v
+            work[active] += result.iterations
+
+        residuals = np.max(np.abs(new - old), axis=(1, 2))
+        if skip.any() and state.prev_res is not None:
+            # A skipped component's trajectory did not change; keep its
+            # previous (below-threshold) residual rather than a fake 0.
+            residuals[skip] = state.prev_res[skip]
+
+        state.traj = new
+        if self.skip_converged:
+            if state.skip_streak is None:
+                state.skip_streak = np.zeros(n, dtype=np.int64)
+            state.skip_streak[skip] += 1
+            state.skip_streak[~skip] = 0
+            state.prev_res = residuals.copy()
+            state.last_left_halo = np.array(left_halo, copy=True)
+            state.last_right_halo = np.array(right_halo, copy=True)
+        return IterationResult(residuals=residuals, work=work)
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def n_local(self, state: BrusselatorState) -> int:
+        return state.n
+
+    def _invalidate_skip_state(self, state: BrusselatorState) -> None:
+        """After a migration the block changed shape: recompute everything
+        next sweep (the skip bookkeeping re-populates from scratch)."""
+        state.prev_res = None
+        state.skip_streak = None
+        state.last_left_halo = None
+        state.last_right_halo = None
+
+    def split(self, state: BrusselatorState, n: int, side: str) -> np.ndarray:
+        self.check_side(side)
+        if not 0 < n < state.n:
+            raise ValueError(f"cannot split {n} of {state.n} components")
+        if side == "left":
+            payload = state.traj[:n].copy()
+            state.traj = state.traj[n:].copy()
+            state.lo += n
+        else:
+            payload = state.traj[state.n - n :].copy()
+            state.traj = state.traj[: state.n - n].copy()
+        self._invalidate_skip_state(state)
+        return payload
+
+    def merge(self, state: BrusselatorState, payload: np.ndarray, side: str) -> None:
+        self.check_side(side)
+        payload = np.asarray(payload, dtype=float)
+        if payload.ndim != 3 or payload.shape[1:] != (2, self.n_steps + 1):
+            raise ValueError(
+                f"bad migration payload shape {payload.shape}; expected "
+                f"(n, 2, {self.n_steps + 1})"
+            )
+        if side == "left":
+            state.traj = np.concatenate([payload, state.traj], axis=0)
+            state.lo -= payload.shape[0]
+        else:
+            state.traj = np.concatenate([state.traj, payload], axis=0)
+        self._invalidate_skip_state(state)
+
+    def component_nbytes(self) -> float:
+        return 2.0 * (self.n_steps + 1) * 8.0
+
+    def payload_edge_halo(self, payload: np.ndarray, edge: str) -> np.ndarray:
+        if edge not in ("first", "last"):
+            raise ValueError(f"edge must be 'first' or 'last', got {edge!r}")
+        # Halos are single-component trajectories of shape (2, n_steps+1).
+        return payload[0].copy() if edge == "first" else payload[-1].copy()
+
+    # ------------------------------------------------------------------
+    # Solutions
+    # ------------------------------------------------------------------
+    def solution(self, state: BrusselatorState) -> np.ndarray:
+        return state.traj.copy()
+
+    def reference_solution(self, *, backend: str = "scipy") -> np.ndarray:
+        """Sequential solution of the fully-coupled implicit Euler system.
+
+        Returns an array of shape ``(n_components, 2, n_steps + 1)``
+        directly comparable to the assembled parallel trajectories.  This
+        is the exact fixed point of the waveform relaxation on the same
+        grid (up to Newton tolerance).
+        """
+        n, c = self.n_components, self.c
+
+        def rhs(t: float, y: np.ndarray) -> np.ndarray:
+            u, v = y[0::2], y[1::2]
+            u_pad = np.concatenate([[U_BOUNDARY], u, [U_BOUNDARY]])
+            v_pad = np.concatenate([[V_BOUNDARY], v, [V_BOUNDARY]])
+            lap_u = u_pad[:-2] - 2.0 * u + u_pad[2:]
+            lap_v = v_pad[:-2] - 2.0 * v + v_pad[2:]
+            du = 1.0 + u * u * v - 4.0 * u + c * lap_u
+            dv = 3.0 * u - u * u * v + c * lap_v
+            out = np.empty_like(y)
+            out[0::2], out[1::2] = du, dv
+            return out
+
+        def jac_banded(t: float, y: np.ndarray) -> np.ndarray:
+            # Interleaved ordering (u1, v1, u2, v2, ...): kl = ku = 2.
+            u, v = y[0::2], y[1::2]
+            bands = np.zeros((5, 2 * n))
+            # Main diagonal.
+            bands[2, 0::2] = 2.0 * u * v - 4.0 - 2.0 * c  # ∂du/∂u
+            bands[2, 1::2] = -u * u - 2.0 * c  # ∂dv/∂v
+            # +1 super-diagonal: ∂du_i/∂v_i at column of v_i.
+            bands[1, 1::2] = u * u
+            # -1 sub-diagonal: ∂dv_i/∂u_i at column of u_i.
+            bands[3, 0::2] = 3.0 - 2.0 * u * v
+            # ±2: diffusion coupling u_i <-> u_{i±1}, v_i <-> v_{i±1}.
+            bands[0, 2:] = c  # ∂d(·)_i/∂(·)_{i+1}
+            bands[4, :-2] = c  # ∂d(·)_i/∂(·)_{i-1}
+            return bands
+
+        y0 = self.initial_values(0, n).ravel()  # already interleaved (u, v)
+        t_grid = np.linspace(0.0, self.t_end, self.n_steps + 1)
+        traj = implicit_euler_banded(
+            rhs, jac_banded, 2, 2, y0, t_grid,
+            newton_tol=self.newton.tol, backend=backend,
+        )  # (n_steps + 1, 2n)
+        out = np.empty((n, 2, self.n_steps + 1))
+        out[:, 0, :] = traj[:, 0::2].T
+        out[:, 1, :] = traj[:, 1::2].T
+        return out

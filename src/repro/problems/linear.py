@@ -1,0 +1,203 @@
+"""Linear fixed-point problems ``x = A x + b`` with tridiagonal ``A``.
+
+The classical setting of asynchronous-iteration theory (Bertsekas &
+Tsitsiklis; El Tarazi): if ``|A|`` has max-norm below 1 the parallel
+Jacobi relaxation converges for *any* asynchronous schedule.  We use it
+
+* to validate the solver stack against a directly computable fixed
+  point ``x* = (I - A)⁻¹ b``,
+* as a third example problem with constant per-component cost (load
+  imbalance then comes only from machine heterogeneity, isolating the
+  hardware axis of the paper's argument from the activity axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numerics.banded import thomas_solve
+from repro.problems.base import IterationResult, Problem
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["LinearFixedPointProblem", "LinearState", "random_contraction_system"]
+
+
+def random_contraction_system(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    contraction: float = 0.9,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Draw a tridiagonal iteration matrix with max-norm ``contraction``.
+
+    Returns ``(lower, diag, upper, b)`` where row ``j`` of ``A`` is
+    ``(lower[j], diag[j], upper[j])`` and ``Σ|row| == contraction`` for
+    every row, so ``ρ(|A|) <= contraction < 1``.
+    """
+    check_positive("n", n)
+    check_in_range("contraction", contraction, 0.0, 1.0 - 1e-9)
+    weights = rng.dirichlet(np.ones(3), size=n) * contraction
+    signs = rng.choice([-1.0, 1.0], size=(n, 3))
+    lower = weights[:, 0] * signs[:, 0]
+    diag = weights[:, 1] * signs[:, 1]
+    upper = weights[:, 2] * signs[:, 2]
+    lower[0] = 0.0
+    upper[-1] = 0.0
+    b = rng.standard_normal(n)
+    return lower, diag, upper, b
+
+
+@dataclass(slots=True)
+class LinearState:
+    """Current iterate of components ``[lo, lo + len(x))``."""
+
+    lo: int
+    x: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.x.shape[0]
+
+
+class LinearFixedPointProblem(Problem):
+    """``x_j ← lower_j x_{j-1} + diag_j x_j + upper_j x_{j+1} + b_j``.
+
+    ``ordering`` selects the in-block update order (paper §1.1):
+    ``"jacobi"`` updates all components from the previous iterate
+    (fully parallelisable); ``"gauss_seidel"`` sweeps left-to-right
+    using already-updated values, which "may converge faster … but may
+    be completely non-parallelizable" — here the block-local variant
+    keeps the chain parallel while accelerating within each block.
+    """
+
+    name = "linear"
+
+    def __init__(
+        self,
+        lower: np.ndarray,
+        diag: np.ndarray,
+        upper: np.ndarray,
+        b: np.ndarray,
+        *,
+        cost_per_component: float = 1.0,
+        ordering: str = "jacobi",
+    ) -> None:
+        self.lower = np.asarray(lower, dtype=float)
+        self.diag = np.asarray(diag, dtype=float)
+        self.upper = np.asarray(upper, dtype=float)
+        self.b = np.asarray(b, dtype=float)
+        n = self.diag.shape[0]
+        if not (self.lower.shape == self.upper.shape == self.b.shape == (n,)):
+            raise ValueError("lower, diag, upper, b must be 1-D of equal length")
+        row_sums = np.abs(self.lower) + np.abs(self.diag) + np.abs(self.upper)
+        self.contraction = float(row_sums.max())
+        if self.contraction >= 1.0:
+            raise ValueError(
+                f"iteration matrix max-norm is {self.contraction:.4f} >= 1; "
+                "asynchronous convergence is not guaranteed"
+            )
+        self.n_components = n
+        self.cost_per_component = check_positive(
+            "cost_per_component", cost_per_component
+        )
+        if ordering not in ("jacobi", "gauss_seidel"):
+            raise ValueError(
+                f"ordering must be 'jacobi' or 'gauss_seidel', got {ordering!r}"
+            )
+        self.ordering = ordering
+
+    # ------------------------------------------------------------------
+    def fixed_point(self) -> np.ndarray:
+        """Direct solution of ``(I - A) x = b`` (Thomas algorithm)."""
+        return thomas_solve(-self.lower, 1.0 - self.diag, -self.upper, self.b)
+
+    # ------------------------------------------------------------------
+    def initial_state(self, lo: int, hi: int) -> LinearState:
+        if not 0 <= lo < hi <= self.n_components:
+            raise ValueError(
+                f"invalid block [{lo}, {hi}) for {self.n_components} components"
+            )
+        return LinearState(lo=lo, x=np.zeros(hi - lo))
+
+    def n_local(self, state: LinearState) -> int:
+        return state.n
+
+    def iterate(
+        self,
+        state: LinearState,
+        left_halo: np.ndarray,
+        right_halo: np.ndarray,
+    ) -> IterationResult:
+        x = state.x
+        lo = state.lo
+        n = state.n
+        x_right = np.concatenate([x[1:], np.atleast_1d(right_halo)])
+        sl = slice(lo, lo + n)
+        if self.ordering == "jacobi":
+            x_left = np.concatenate([np.atleast_1d(left_halo), x[:-1]])
+            new = (
+                self.lower[sl] * x_left
+                + self.diag[sl] * x
+                + self.upper[sl] * x_right
+                + self.b[sl]
+            )
+        else:
+            # Block-local Gauss-Seidel: left-to-right sweep using the
+            # freshly updated left neighbour within the block.
+            lower = self.lower[sl]
+            diag = self.diag[sl]
+            upper = self.upper[sl]
+            rhs = self.b[sl]
+            new = np.empty(n)
+            prev = float(np.atleast_1d(left_halo)[0])
+            for j in range(n):
+                prev = lower[j] * prev + diag[j] * x[j] + upper[j] * x_right[j] + rhs[j]
+                new[j] = prev
+        residuals = np.abs(new - x)
+        state.x = new
+        work = np.full(n, self.cost_per_component)
+        return IterationResult(residuals=residuals, work=work)
+
+    # ------------------------------------------------------------------
+    def initial_halo(self, global_index: int) -> np.ndarray:
+        return np.zeros(1)  # initial iterate is zero; edges contribute nothing
+
+    def halo_out(self, state: LinearState, side: str) -> np.ndarray:
+        self.check_side(side)
+        idx = 0 if side == "left" else state.n - 1
+        return state.x[idx : idx + 1].copy()
+
+    def halo_nbytes(self) -> float:
+        return 8.0
+
+    # ------------------------------------------------------------------
+    def split(self, state: LinearState, n: int, side: str) -> np.ndarray:
+        self.check_side(side)
+        if not 0 < n < state.n:
+            raise ValueError(f"cannot split {n} of {state.n} components")
+        if side == "left":
+            payload = state.x[:n].copy()
+            state.x = state.x[n:].copy()
+            state.lo += n
+        else:
+            payload = state.x[state.n - n :].copy()
+            state.x = state.x[: state.n - n].copy()
+        return payload
+
+    def merge(self, state: LinearState, payload: np.ndarray, side: str) -> None:
+        self.check_side(side)
+        payload = np.atleast_1d(np.asarray(payload, dtype=float))
+        if side == "left":
+            state.x = np.concatenate([payload, state.x])
+            state.lo -= payload.shape[0]
+        else:
+            state.x = np.concatenate([state.x, payload])
+
+    def component_nbytes(self) -> float:
+        return 8.0
+
+    # ------------------------------------------------------------------
+    def solution(self, state: LinearState) -> np.ndarray:
+        return state.x.copy()

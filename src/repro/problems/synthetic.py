@@ -1,0 +1,199 @@
+"""A controllable synthetic contraction problem.
+
+For the large parameter sweeps (Figure 5 goes to ~100 processors) the
+full Brusselator numerics are unnecessarily expensive; what the
+experiments measure is the *interaction* between per-component activity,
+per-component cost and the load balancer.  This problem models exactly
+that, in closed form:
+
+* component ``j`` carries an error ``e_j`` (distance to the fixed
+  point), contracted each sweep by a per-component rate ``r_j``;
+* spatial coupling mixes in the neighbours' errors with factor ``γ < 1``
+  (a weighted-max-norm contraction, so asynchronous iterations converge
+  by El Tarazi's theorem);
+* sweep cost per component is ``base_cost`` plus ``active_cost`` while
+  ``e_j`` exceeds ``active_threshold`` — the idealised version of the
+  Brusselator's "converged components verify in one Newton iteration".
+
+A *hard region* (components with ``r_j`` close to 1) reproduces the
+paper's observation that "the progression towards the solution is not
+the same for all the components": without load balancing the ranks
+owning the hard region do expensive sweeps long after everyone else has
+converged, which is precisely the imbalance the residual-driven
+balancer removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.problems.base import IterationResult, Problem
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["SyntheticProblem", "SyntheticState"]
+
+
+@dataclass(slots=True)
+class SyntheticState:
+    """Errors of components ``[lo, lo + len(e))``."""
+
+    lo: int
+    e: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.e.shape[0]
+
+
+class SyntheticProblem(Problem):
+    """Per-component contraction with activity-dependent cost.
+
+    Parameters
+    ----------
+    rates:
+        Per-component contraction rates, each in ``[0, 1)``; length
+        defines ``n_components``.
+    coupling:
+        Neighbour mixing factor ``γ`` in ``[0, 1)``.
+    init_error:
+        Initial error of every component.
+    active_threshold:
+        Errors above this make a component "active" (expensive).
+    base_cost, active_cost:
+        Work units per component per sweep: ``base`` always, plus
+        ``active`` while the component is active.
+    """
+
+    name = "synthetic"
+
+    def __init__(
+        self,
+        rates: np.ndarray,
+        *,
+        coupling: float = 0.3,
+        init_error: float = 1.0,
+        active_threshold: float = 1e-4,
+        base_cost: float = 1.0,
+        active_cost: float = 4.0,
+    ) -> None:
+        self.rates = np.asarray(rates, dtype=float)
+        if self.rates.ndim != 1 or self.rates.size == 0:
+            raise ValueError("rates must be a non-empty 1-D array")
+        if np.any(self.rates < 0) or np.any(self.rates >= 1):
+            raise ValueError("all rates must lie in [0, 1)")
+        self.n_components = int(self.rates.size)
+        self.coupling = check_in_range("coupling", coupling, 0.0, 1.0 - 1e-12)
+        self.init_error = check_positive("init_error", init_error)
+        self.active_threshold = check_positive("active_threshold", active_threshold)
+        self.base_cost = check_positive("base_cost", base_cost)
+        self.active_cost = float(active_cost)
+        if self.active_cost < 0:
+            raise ValueError(f"active_cost must be >= 0, got {active_cost!r}")
+
+    @classmethod
+    def with_hard_region(
+        cls,
+        n_components: int,
+        *,
+        easy_rate: float = 0.5,
+        hard_rate: float = 0.97,
+        region: tuple[float, float] = (0.4, 0.6),
+        **kwargs,
+    ) -> "SyntheticProblem":
+        """Uniform rates except a hard (slowly converging) sub-interval.
+
+        ``region`` is in relative coordinates of the component index
+        space, e.g. ``(0.4, 0.6)`` makes the middle fifth hard.
+        """
+        lo, hi = region
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError(f"invalid region {region!r}")
+        rates = np.full(n_components, easy_rate, dtype=float)
+        idx = np.arange(n_components) / max(n_components - 1, 1)
+        rates[(idx >= lo) & (idx < hi)] = hard_rate
+        return cls(rates, **kwargs)
+
+    # ------------------------------------------------------------------
+    # State lifecycle
+    # ------------------------------------------------------------------
+    def initial_state(self, lo: int, hi: int) -> SyntheticState:
+        if not 0 <= lo < hi <= self.n_components:
+            raise ValueError(
+                f"invalid block [{lo}, {hi}) for {self.n_components} components"
+            )
+        return SyntheticState(lo=lo, e=np.full(hi - lo, self.init_error))
+
+    def n_local(self, state: SyntheticState) -> int:
+        return state.n
+
+    def iterate(
+        self,
+        state: SyntheticState,
+        left_halo: np.ndarray,
+        right_halo: np.ndarray,
+    ) -> IterationResult:
+        e = state.e
+        rates = self.rates[state.lo : state.lo + state.n]
+        e_left = np.concatenate([np.atleast_1d(left_halo), e[:-1]])
+        e_right = np.concatenate([e[1:], np.atleast_1d(right_halo)])
+        neighbour = np.maximum(e_left, e_right)
+        new = np.maximum(rates * e, self.coupling * neighbour)
+        active = e > self.active_threshold
+        work = np.full(state.n, self.base_cost)
+        work[active] += self.active_cost
+        state.e = new
+        # The synthetic problem's residual IS the true error (idealised
+        # estimator; see module docstring).
+        return IterationResult(residuals=new.copy(), work=work)
+
+    # ------------------------------------------------------------------
+    # Halos
+    # ------------------------------------------------------------------
+    def initial_halo(self, global_index: int) -> np.ndarray:
+        if global_index < 0 or global_index >= self.n_components:
+            return np.zeros(1)  # domain edges are exact (converged)
+        return np.full(1, self.init_error)
+
+    def halo_out(self, state: SyntheticState, side: str) -> np.ndarray:
+        self.check_side(side)
+        idx = 0 if side == "left" else state.n - 1
+        return state.e[idx : idx + 1].copy()
+
+    def halo_nbytes(self) -> float:
+        return 8.0
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def split(self, state: SyntheticState, n: int, side: str) -> np.ndarray:
+        self.check_side(side)
+        if not 0 < n < state.n:
+            raise ValueError(f"cannot split {n} of {state.n} components")
+        if side == "left":
+            payload = state.e[:n].copy()
+            state.e = state.e[n:].copy()
+            state.lo += n
+        else:
+            payload = state.e[state.n - n :].copy()
+            state.e = state.e[: state.n - n].copy()
+        return payload
+
+    def merge(self, state: SyntheticState, payload: np.ndarray, side: str) -> None:
+        self.check_side(side)
+        payload = np.atleast_1d(np.asarray(payload, dtype=float))
+        if side == "left":
+            state.e = np.concatenate([payload, state.e])
+            state.lo -= payload.shape[0]
+        else:
+            state.e = np.concatenate([state.e, payload])
+
+    def component_nbytes(self) -> float:
+        return 8.0
+
+    # ------------------------------------------------------------------
+    # Solution
+    # ------------------------------------------------------------------
+    def solution(self, state: SyntheticState) -> np.ndarray:
+        return state.e.copy()

@@ -1,0 +1,37 @@
+"""Message records exchanged between grid nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass(slots=True)
+class Message:
+    """A point-to-point message.
+
+    Attributes
+    ----------
+    kind:
+        Handler name on the destination node (e.g. ``"halo_from_left"``,
+        ``"lb_from_right"``) — the PM2 "which function will manage the
+        message" dispatch.
+    payload:
+        Arbitrary Python payload (numpy arrays for data, metadata dicts).
+    size_bytes:
+        Modelled wire size; drives the link transfer time.
+    src_rank, dst_rank:
+        Logical ranks in the solver's chain organization.
+    send_time, arrival_time:
+        Virtual timestamps, filled in by the runtime.
+    """
+
+    kind: str
+    payload: Any
+    size_bytes: float
+    src_rank: int
+    dst_rank: int
+    send_time: float = 0.0
+    arrival_time: float = 0.0

@@ -1,0 +1,144 @@
+"""Grid nodes: the PM2-style programming surface of one machine.
+
+A :class:`GridNode` couples a logical rank in the solver's chain with a
+:class:`~repro.grid.host.Host`.  Solvers register *receive handlers* by
+kind (the PM2 pattern of naming the function that will manage an
+incoming message) and fire asynchronous sends; the runtime schedules the
+delivery event at the network-computed arrival time and runs the handler
+there, in zero virtual time, with full access to the node's shared state
+— exactly like a PM2 handler thread between scheduler preemption points.
+
+Per-channel mutual exclusion (paper, Section 5.1): ``channel_busy`` /
+``mark_busy`` implement the "is there a communication of this kind in
+progress" test; the flag clears automatically when the message arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.des.simulator import Simulator
+from repro.grid.host import Host
+from repro.grid.network import Network
+from repro.runtime.message import Message
+from repro.runtime.tracer import MessageRecord, Tracer
+
+__all__ = ["GridNode"]
+
+Handler = Callable[[Message], None]
+
+
+class GridNode:
+    """One simulated machine participating in a parallel solve.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    rank:
+        Logical rank in the chain organization (0 .. nbprocs-1).
+    host:
+        The hardware this rank runs on.
+    network:
+        Shared network used to time messages.
+    tracer:
+        Shared trace recorder.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rank: int,
+        host: Host,
+        network: Network,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.rank = rank
+        self.host = host
+        self.network = network
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._handlers: dict[str, Handler] = {}
+        self._busy_channels: set[tuple[str, int]] = set()
+        #: Set by the convergence monitor / driver to stop the main loop.
+        self.stop_requested = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GridNode(rank={self.rank}, host={self.host.name})"
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def register_handler(self, kind: str, handler: Handler) -> None:
+        """Register the function that manages messages of ``kind``."""
+        if kind in self._handlers:
+            raise ValueError(f"handler for kind {kind!r} already registered")
+        self._handlers[kind] = handler
+
+    # ------------------------------------------------------------------
+    # Mutual exclusion flags
+    # ------------------------------------------------------------------
+    def channel_busy(self, kind: str, dst_rank: int) -> bool:
+        """Is a send of ``kind`` to ``dst_rank`` still in flight?"""
+        return (kind, dst_rank) in self._busy_channels
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst: "GridNode",
+        kind: str,
+        payload: Any,
+        size_bytes: float,
+        *,
+        exclusive: bool = False,
+    ) -> bool:
+        """Asynchronously send ``payload`` to ``dst``.
+
+        With ``exclusive=True`` the send is suppressed (returns ``False``)
+        if a previous exclusive send of the same kind to the same rank has
+        not yet arrived — the paper's mutual-exclusion variant, which
+        "generates less communications".  Returns ``True`` if the message
+        was actually injected.
+        """
+        channel = (kind, dst.rank)
+        if exclusive:
+            if channel in self._busy_channels:
+                return False
+            self._busy_channels.add(channel)
+
+        now = self.sim.now
+        arrival = self.network.arrival_time(self.host, dst.host, size_bytes, now)
+        message = Message(
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            src_rank=self.rank,
+            dst_rank=dst.rank,
+            send_time=now,
+            arrival_time=arrival,
+        )
+
+        def deliver() -> None:
+            if exclusive:
+                self._busy_channels.discard(channel)
+            handler = dst._handlers.get(kind)
+            if handler is None:
+                raise LookupError(
+                    f"rank {dst.rank} has no handler for message kind {kind!r}"
+                )
+            handler(message)
+
+        self.sim.schedule_at(arrival, deliver)
+        self.tracer.message(
+            MessageRecord(
+                kind=kind,
+                src_rank=self.rank,
+                dst_rank=dst.rank,
+                size_bytes=size_bytes,
+                send_time=now,
+                arrival_time=arrival,
+            )
+        )
+        return True

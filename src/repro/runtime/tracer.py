@@ -1,0 +1,137 @@
+"""Structured execution tracing.
+
+Every driver (SISC/SIAC/AIAC, balanced or not) reports its activity to a
+:class:`Tracer`.  The trace is the raw material for:
+
+* the ASCII Gantt charts reproducing Figures 1–4
+  (:mod:`repro.analysis.gantt`),
+* idle-fraction / imbalance metrics (:mod:`repro.analysis.metrics`),
+* migration accounting in the load-balancing experiments.
+
+Records are plain frozen dataclasses so tests can assert on them
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "IterationSpan",
+    "IdleSpan",
+    "MessageRecord",
+    "MigrationRecord",
+    "ResidualRecord",
+    "Tracer",
+]
+
+
+@dataclass(slots=True, frozen=True)
+class IterationSpan:
+    """One computation block: ``rank`` computed iteration ``k`` over [t0,t1]."""
+
+    rank: int
+    iteration: int
+    t0: float
+    t1: float
+    work: float
+
+
+@dataclass(slots=True, frozen=True)
+class IdleSpan:
+    """``rank`` was blocked waiting (synchronous models only) over [t0,t1]."""
+
+    rank: int
+    t0: float
+    t1: float
+    reason: str
+
+
+@dataclass(slots=True, frozen=True)
+class MessageRecord:
+    """A message send/arrival pair."""
+
+    kind: str
+    src_rank: int
+    dst_rank: int
+    size_bytes: float
+    send_time: float
+    arrival_time: float
+
+
+@dataclass(slots=True, frozen=True)
+class MigrationRecord:
+    """A load-balancing migration of ``n_components`` components."""
+
+    src_rank: int
+    dst_rank: int
+    n_components: int
+    time: float
+    src_residual: float
+    dst_residual: float
+
+
+@dataclass(slots=True, frozen=True)
+class ResidualRecord:
+    """Local residual reported by ``rank`` at the end of an iteration."""
+
+    rank: int
+    iteration: int
+    time: float
+    residual: float
+    n_local: int
+
+
+class Tracer:
+    """Accumulates execution records for one run.
+
+    A ``Tracer`` can be disabled (``enabled=False``) for large sweeps
+    where only the final timings matter; recording methods then return
+    immediately.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.iterations: list[IterationSpan] = []
+        self.idles: list[IdleSpan] = []
+        self.messages: list[MessageRecord] = []
+        self.migrations: list[MigrationRecord] = []
+        self.residuals: list[ResidualRecord] = []
+
+    # Recording -----------------------------------------------------------
+    def iteration(self, span: IterationSpan) -> None:
+        if self.enabled:
+            self.iterations.append(span)
+
+    def idle(self, span: IdleSpan) -> None:
+        if self.enabled:
+            self.idles.append(span)
+
+    def message(self, record: MessageRecord) -> None:
+        if self.enabled:
+            self.messages.append(record)
+
+    def migration(self, record: MigrationRecord) -> None:
+        # Migration records are cheap and central to the experiments:
+        # record them even when detailed tracing is disabled.
+        self.migrations.append(record)
+
+    def residual(self, record: ResidualRecord) -> None:
+        if self.enabled:
+            self.residuals.append(record)
+
+    # Convenience queries ---------------------------------------------------
+    def iterations_of(self, rank: int) -> list[IterationSpan]:
+        return [s for s in self.iterations if s.rank == rank]
+
+    def idle_time_of(self, rank: int) -> float:
+        return sum(s.t1 - s.t0 for s in self.idles if s.rank == rank)
+
+    def busy_time_of(self, rank: int) -> float:
+        return sum(s.t1 - s.t0 for s in self.iterations if s.rank == rank)
+
+    def n_migrations(self) -> int:
+        return len(self.migrations)
+
+    def components_migrated(self) -> int:
+        return sum(m.n_components for m in self.migrations)

@@ -1,0 +1,27 @@
+"""Logical organizations of processors and dependency graphs.
+
+The paper organises processors in a logical linear chain (the 1-D
+decomposition of the state vector) and, for the heterogeneous
+experiment, chooses that organisation *irregular* — machines of
+different sites and speeds interleaved along the chain, "a grid
+computing context not favorable to load balancing".  This package
+provides the chain orderings and the dependency-graph view used by the
+balancing library.
+"""
+
+from repro.topology.logical import (
+    identity_order,
+    interleaved_sites_order,
+    random_order,
+    sorted_by_speed_order,
+)
+from repro.topology.dependency import chain_dependency_graph, dependency_graph_stats
+
+__all__ = [
+    "identity_order",
+    "interleaved_sites_order",
+    "random_order",
+    "sorted_by_speed_order",
+    "chain_dependency_graph",
+    "dependency_graph_stats",
+]

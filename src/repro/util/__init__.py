@@ -1,0 +1,20 @@
+"""Small shared utilities: seeded RNG trees and argument validation."""
+
+from repro.util.rng import RngTree, spawn_generator
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngTree",
+    "spawn_generator",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,74 @@
+"""Deterministic random-number management.
+
+Every stochastic element of a simulation (external-load traces, link
+fluctuation, scenario generation) draws from its own
+:class:`numpy.random.Generator` derived from a single root seed through
+named, order-independent spawning.  Two runs with the same root seed and
+the same component names therefore see identical random streams even if
+the components are constructed in a different order — a prerequisite for
+the reproducibility guarantees documented in DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngTree", "spawn_generator"]
+
+
+def _name_to_key(name: str) -> int:
+    """Hash a component name to a stable 64-bit integer key."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def spawn_generator(root_seed: int, name: str) -> np.random.Generator:
+    """Return a generator keyed by ``(root_seed, name)``.
+
+    The same pair always yields an identical stream; distinct names yield
+    statistically independent streams (via :class:`numpy.random.SeedSequence`
+    entropy pooling).
+    """
+    seq = np.random.SeedSequence(entropy=root_seed, spawn_key=(_name_to_key(name),))
+    return np.random.Generator(np.random.PCG64(seq))
+
+
+class RngTree:
+    """A tree of named random generators hanging off one root seed.
+
+    Examples
+    --------
+    >>> tree = RngTree(1234)
+    >>> a = tree.generator("host/3/load")
+    >>> b = tree.generator("link/0-1/latency")
+    >>> a2 = RngTree(1234).generator("host/3/load")
+    >>> bool((a.random(4) == a2.random(4)).all())
+    True
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        if not isinstance(root_seed, (int, np.integer)):
+            raise TypeError(f"root_seed must be an int, got {type(root_seed).__name__}")
+        self._root_seed = int(root_seed)
+        self._issued: dict[str, np.random.Generator] = {}
+
+    @property
+    def root_seed(self) -> int:
+        return self._root_seed
+
+    def generator(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``.
+
+        Repeated calls with the same name return the *same object*, so a
+        component that keeps drawing from its generator advances a single
+        stream.
+        """
+        if name not in self._issued:
+            self._issued[name] = spawn_generator(self._root_seed, name)
+        return self._issued[name]
+
+    def child(self, name: str) -> "RngTree":
+        """Return an independent subtree keyed by ``name``."""
+        return RngTree(_name_to_key(f"{self._root_seed}:{name}") % (2**63))

@@ -1,0 +1,67 @@
+"""Argument-validation helpers used across the public API.
+
+These raise early, with messages that name the offending parameter, so
+configuration mistakes surface at construction time rather than deep
+inside a simulation run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+    "check_type",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate ``value > 0`` and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate ``value >= 0`` and return it."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``lo <= value <= hi`` (or strict bounds) and return it."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate ``0 <= value <= 1`` and return it."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> Any:
+    """Validate ``isinstance(value, expected)`` and return the value."""
+    if not isinstance(value, expected):
+        names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(f"{name} must be {names}, got {type(value).__name__}")
+    return value

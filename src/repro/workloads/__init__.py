@@ -1,0 +1,15 @@
+"""Named experimental scenarios: one builder per paper experiment."""
+
+from repro.workloads.scenarios import (
+    Figure5Scenario,
+    Table1Scenario,
+    ModelsComparisonScenario,
+    TraceFigureScenario,
+)
+
+__all__ = [
+    "Figure5Scenario",
+    "Table1Scenario",
+    "ModelsComparisonScenario",
+    "TraceFigureScenario",
+]

@@ -1,0 +1,288 @@
+"""Scenario builders for every experiment in DESIGN.md §4.
+
+Each scenario is a dataclass of *tuned, frozen* parameters with methods
+producing fresh problem / platform / config objects, so that a benchmark
+and a reduced-size integration test build exactly the same set-up.
+
+Why the Figure 5 scenario uses the synthetic problem
+----------------------------------------------------
+The paper attributes its homogeneous-cluster gain to the evolution of
+the computation: "the progression towards the solution is not the same
+for all the components ... it is then possible to enhance the
+repartition of the actually evolving computations" (§2).  Measuring our
+Brusselator waveform relaxation shows per-component Newton work almost
+uniform at these sizes (max/mean ≈ 1.03 across blocks), so the activity
+concentration that drives the paper's 6.8× must have been much stronger
+in their setting (their inner Solve can skip converged work entirely).
+The synthetic problem models exactly that mechanism with controllable
+strength; the Brusselator remains the correctness vehicle (Table 1 and
+all solver tests run it) and ``bench_ablations`` measures its real
+(weaker) activity spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import LBConfig, SolverConfig
+from repro.grid.platform import Platform, homogeneous_cluster
+from repro.problems.brusselator import BrusselatorProblem
+from repro.problems.synthetic import SyntheticProblem
+from repro.topology.logical import interleaved_sites_order
+from repro.util.rng import RngTree
+
+__all__ = [
+    "Figure5Scenario",
+    "Table1Scenario",
+    "ModelsComparisonScenario",
+    "TraceFigureScenario",
+]
+
+
+@dataclass(frozen=True)
+class Figure5Scenario:
+    """Figure 5: homogeneous cluster, time vs #procs, with/without LB.
+
+    Strong scaling of a fixed problem whose activity concentrates in a
+    hard region (an eighth of the domain, converging ~60× more slowly),
+    on a dedicated cluster with a fast LAN.
+    """
+
+    n_components: int = 1024
+    hard_region: tuple[float, float] = (0.3125, 0.4375)
+    easy_rate: float = 0.5
+    hard_rate: float = 0.97
+    active_cost: float = 30.0
+    tolerance: float = 1e-10
+    host_speed: float = 200.0
+    proc_counts: tuple[int, ...] = (4, 8, 16, 32, 64)
+
+    def problem(self) -> SyntheticProblem:
+        return SyntheticProblem.with_hard_region(
+            self.n_components,
+            easy_rate=self.easy_rate,
+            hard_rate=self.hard_rate,
+            region=self.hard_region,
+            active_cost=self.active_cost,
+            active_threshold=100.0 * self.tolerance,
+        )
+
+    def platform(self, n_procs: int) -> Platform:
+        return homogeneous_cluster(n_procs, speed=self.host_speed)
+
+    def solver_config(self, *, trace: bool = False) -> SolverConfig:
+        return SolverConfig(
+            tolerance=self.tolerance, max_iterations=500_000, trace=trace
+        )
+
+    def lb_config(self) -> LBConfig:
+        return LBConfig(
+            period=5,
+            threshold_ratio=3.0,
+            min_components=2,
+            accuracy=1.0,
+            max_fraction=0.5,
+        )
+
+    @classmethod
+    def quick(cls) -> "Figure5Scenario":
+        """Reduced size for fast benchmark runs (seconds, not minutes)."""
+        return cls(
+            n_components=256,
+            proc_counts=(4, 8, 16),
+            hard_rate=0.9,
+            tolerance=1e-8,
+        )
+
+    @classmethod
+    def tiny(cls) -> "Figure5Scenario":
+        """Smallest meaningful instance, for the integration tests."""
+        return cls(
+            n_components=128,
+            proc_counts=(4, 8),
+            hard_rate=0.85,
+            tolerance=1e-6,
+        )
+
+
+@dataclass(frozen=True)
+class Table1Scenario:
+    """Table 1: heterogeneous 15-machine, 3-site grid, balanced vs not.
+
+    The paper's grid: five machines per French site, speeds spanning the
+    PII-400 → Athlon-1.4G range, every machine under multi-user load,
+    slow fluctuating inter-site links, and the logical chain organised
+    *irregularly* (round-robin across sites) so halo exchanges cross
+    sites — "a grid computing context not favorable to load balancing".
+
+    The Brusselator drives the numerics, as in the paper.
+    """
+
+    seed: int = 2003
+    n_points: int = 180
+    t_end: float = 10.0
+    n_steps: int = 40
+    alpha: float = 0.002
+    tolerance: float = 1e-5
+    speed_divisor: float = 2.0
+    #: Multi-user load: deep and *persistent* (dwell a sizeable fraction
+    #: of the run) — a colleague's batch job, not millisecond noise.
+    #: Scaled with the run length so quick and full mode see the same
+    #: number of load epochs (~4-5 per run).
+    load_range: tuple[float, float] = (0.15, 1.0)
+    load_dwell: float = 2000.0
+
+    def problem(self) -> BrusselatorProblem:
+        # alpha is reduced from the paper's 1/50 so that the waveform
+        # relaxation's contraction rate (≈ 2cδt/(1+2cδt), c = α(N+1)²)
+        # stays away from 1 at this N: the paper's parallel scheme has
+        # the same N-vs-sweep-count coupling, it just ran far more
+        # sweeps on real hardware than a simulation budget allows.
+        return BrusselatorProblem(
+            self.n_points,
+            t_end=self.t_end,
+            n_steps=self.n_steps,
+            alpha=self.alpha,
+        )
+
+    def platform(self) -> Platform:
+        from repro.grid.platform import SiteSpec, multi_site_grid
+
+        sites = [
+            SiteSpec(
+                name,
+                5,
+                speed_range=(400.0, 1400.0),  # PII-400 ... Athlon-1.4G
+                load_mean_dwell=self.load_dwell,
+                load_range=self.load_range,
+            )
+            for name in ("belfort", "montbeliard", "grenoble")
+        ]
+        platform = multi_site_grid(sites, RngTree(self.seed))
+        for host in platform.hosts:
+            # MHz -> work units/s at a scale that puts run times in the
+            # paper's hundreds-of-seconds range for this problem size.
+            host.speed = host.speed / self.speed_divisor
+        return platform
+
+    def host_order(self, platform: Platform) -> list[int]:
+        return interleaved_sites_order(platform)
+
+    def solver_config(self, *, trace: bool = False) -> SolverConfig:
+        return SolverConfig(
+            tolerance=self.tolerance, max_iterations=200_000, trace=trace
+        )
+
+    def lb_config(self) -> LBConfig:
+        # period=2: on a platform whose imbalance drifts continuously
+        # (multi-user load), frequent cheap trials beat the paper's 20
+        # (swept in bench_ablations; the offer handshake keeps frequent
+        # trials nearly free).
+        return LBConfig(
+            period=2,
+            threshold_ratio=2.0,
+            min_components=2,
+            accuracy=1.0,
+            max_fraction=0.5,
+        )
+
+    @classmethod
+    def quick(cls) -> "Table1Scenario":
+        return cls(
+            n_points=105, t_end=5.0, n_steps=20, tolerance=1e-5,
+            load_dwell=200.0,
+        )
+
+
+@dataclass(frozen=True)
+class ModelsComparisonScenario:
+    """§6 discussion: SISC vs SIAC vs AIAC on cluster and grid platforms.
+
+    The claim to reproduce: on the local cluster the three models are
+    close; on the grid (slow, fluctuating links + heterogeneity) the
+    asynchronous model wins clearly.
+    """
+
+    seed: int = 77
+    n_components: int = 128
+    rate: float = 0.9
+    tolerance: float = 1e-8
+    n_procs: int = 8
+
+    def problem(self) -> SyntheticProblem:
+        import numpy as np
+
+        return SyntheticProblem(
+            np.full(self.n_components, self.rate), coupling=0.3
+        )
+
+    def cluster_platform(self) -> Platform:
+        return homogeneous_cluster(self.n_procs, speed=200.0)
+
+    def grid_platform(self) -> Platform:
+        from repro.grid.platform import SiteSpec, multi_site_grid
+
+        sites = [
+            SiteSpec("a", self.n_procs // 2, speed_range=(120.0, 280.0),
+                     load_range=(0.2, 1.0), load_mean_dwell=3.0),
+            SiteSpec("b", self.n_procs - self.n_procs // 2,
+                     speed_range=(120.0, 280.0),
+                     load_range=(0.2, 1.0), load_mean_dwell=3.0),
+        ]
+        return multi_site_grid(
+            sites,
+            RngTree(self.seed),
+            inter_latency=0.4,
+            inter_bandwidth=5e3,
+            inter_fluctuation=(0.1, 1.0),
+            inter_fluctuation_dwell=5.0,
+        )
+
+    def host_order(self, platform: Platform) -> list[int]:
+        return interleaved_sites_order(platform)
+
+    def solver_config(self, *, trace: bool = False) -> SolverConfig:
+        return SolverConfig(
+            tolerance=self.tolerance, max_iterations=200_000, trace=trace
+        )
+
+
+@dataclass(frozen=True)
+class TraceFigureScenario:
+    """Figures 1-4: execution flows of the four models on two processors.
+
+    Two unequal processors and a visible network latency, exactly the
+    regime in which the figures' idle gaps appear.
+    """
+
+    n_components: int = 24
+    rate: float = 0.9
+    fast_speed: float = 240.0
+    slow_speed: float = 150.0
+    latency: float = 0.08
+    bandwidth: float = 1e5
+    tolerance: float = 1e-6
+
+    def problem(self) -> SyntheticProblem:
+        import numpy as np
+
+        return SyntheticProblem(
+            np.full(self.n_components, self.rate), coupling=0.3
+        )
+
+    def platform(self) -> Platform:
+        from repro.grid.host import Host
+        from repro.grid.link import Link
+        from repro.grid.network import Network
+
+        network = Network(Link(latency=self.latency, bandwidth=self.bandwidth))
+        hosts = [
+            Host("fast", self.fast_speed),
+            Host("slow", self.slow_speed),
+        ]
+        return Platform(hosts=hosts, network=network)
+
+    def solver_config(self) -> SolverConfig:
+        return SolverConfig(
+            tolerance=self.tolerance, max_iterations=100_000, trace=True
+        )

@@ -1,0 +1,67 @@
+"""Tests for the ASCII plotting helper."""
+
+import pytest
+
+from repro.analysis.plots import ascii_plot
+
+
+def test_single_series_renders():
+    out = ascii_plot({"t": ([1, 2, 4], [10.0, 5.0, 2.5])}, title="scaling")
+    assert "scaling" in out
+    assert "legend: A=t" in out
+    assert "A" in out
+
+
+def test_two_series_distinct_glyphs():
+    out = ascii_plot(
+        {
+            "without LB": ([1, 2, 4], [10.0, 5.0, 2.5]),
+            "with LB": ([1, 2, 4], [2.0, 1.0, 0.5]),
+        }
+    )
+    assert "A" in out and "B" in out
+    assert "A=without LB" in out and "B=with LB" in out
+
+
+def test_log_log_axis_labels():
+    out = ascii_plot(
+        {"t": ([1, 100], [10.0, 1000.0])}, log_x=True, log_y=True, title="x"
+    )
+    assert "[log-log]" in out
+    assert "1e+03" in out or "1000" in out
+
+
+def test_log_axis_rejects_nonpositive():
+    with pytest.raises(ValueError, match="positive"):
+        ascii_plot({"t": ([0, 1], [1.0, 2.0])}, log_x=True)
+
+
+def test_monotone_series_orientation():
+    # Decreasing series: the glyph for the smallest x must be on a
+    # higher row (earlier line) than for the largest x.
+    out = ascii_plot({"t": ([1, 2, 3, 4], [8.0, 4.0, 2.0, 1.0])}, height=8)
+    lines = [l for l in out.splitlines() if "|" in l]
+    first_row = next(i for i, l in enumerate(lines) if "A" in l)
+    last_row = max(i for i, l in enumerate(lines) if "A" in l)
+    first_col = lines[first_row].index("A")
+    last_col = lines[last_row].index("A")
+    assert first_col < last_col  # high value at small x, low at large x
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_plot({})
+    with pytest.raises(ValueError):
+        ascii_plot({"t": ([1], [1.0, 2.0])})
+    with pytest.raises(ValueError):
+        ascii_plot({"t": ([], [])})
+    with pytest.raises(ValueError):
+        ascii_plot({"t": ([1], [1.0])}, width=3)
+    too_many = {f"s{i}": ([1], [1.0]) for i in range(9)}
+    with pytest.raises(ValueError, match="at most"):
+        ascii_plot(too_many)
+
+
+def test_constant_series_does_not_divide_by_zero():
+    out = ascii_plot({"t": ([1, 2], [5.0, 5.0])})
+    assert "A" in out

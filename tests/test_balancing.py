@@ -1,0 +1,253 @@
+"""Tests for the standalone load-balancing algorithm library."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balancing import (
+    BertsekasParams,
+    centralized_balance,
+    diffusion_balance,
+    diffusion_step,
+    dimension_exchange_balance,
+    dimension_exchange_round,
+    edge_colouring,
+    imbalance_ratio,
+    load_stddev,
+    mean_load,
+    optimal_alpha,
+    simulate_bertsekas_lb,
+)
+from repro.balancing.centralized import centralized_cost_model
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_basics():
+    load = np.array([1.0, 3.0, 2.0])
+    assert mean_load(load) == pytest.approx(2.0)
+    assert imbalance_ratio(load) == pytest.approx(1.5)
+    assert load_stddev(np.array([2.0, 2.0])) == 0.0
+    assert imbalance_ratio(np.zeros(3)) == 1.0
+
+
+def test_metrics_validation():
+    with pytest.raises(ValueError):
+        mean_load(np.array([]))
+    with pytest.raises(ValueError):
+        imbalance_ratio(np.array([-1.0, 2.0]))
+
+
+# ---------------------------------------------------------------------------
+# Diffusion
+# ---------------------------------------------------------------------------
+
+
+def test_diffusion_step_conserves_load():
+    g = nx.path_graph(5)
+    load = np.array([10.0, 0.0, 0.0, 0.0, 0.0])
+    new = diffusion_step(g, load, 0.25)
+    assert new.sum() == pytest.approx(load.sum())
+    assert new[1] > 0  # flow happened
+
+
+@pytest.mark.parametrize(
+    "graph",
+    [nx.path_graph(6), nx.cycle_graph(7), nx.hypercube_graph(3), nx.star_graph(5)],
+)
+def test_diffusion_balances_connected_graphs(graph):
+    n = graph.number_of_nodes()
+    load = np.zeros(n)
+    load[0] = float(n * 4)
+    final, rounds = diffusion_balance(graph, load, tol=1e-8)
+    assert rounds > 0
+    assert np.allclose(final, 4.0, atol=1e-6)
+
+
+def test_diffusion_rejects_disconnected():
+    g = nx.Graph()
+    g.add_edges_from([(0, 1), (2, 3)])
+    with pytest.raises(ValueError, match="connected"):
+        diffusion_balance(g, np.array([4.0, 0.0, 0.0, 0.0]))
+
+
+def test_diffusion_alpha_validation():
+    g = nx.path_graph(3)
+    with pytest.raises(ValueError):
+        diffusion_step(g, np.zeros(3), 0.0)
+    with pytest.raises(ValueError):
+        diffusion_step(g, np.zeros(2), 0.25)  # wrong shape
+
+
+def test_optimal_alpha():
+    assert optimal_alpha(nx.star_graph(4)) == pytest.approx(1.0 / 5.0)
+    with pytest.raises(ValueError):
+        optimal_alpha(nx.Graph())
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100), n=st.integers(2, 12))
+def test_property_diffusion_monotone_stddev(seed, n):
+    rng = np.random.default_rng(seed)
+    g = nx.cycle_graph(n)
+    load = rng.uniform(0, 10, n)
+    alpha = optimal_alpha(g)
+    before = load_stddev(load)
+    after = load_stddev(diffusion_step(g, load, alpha))
+    assert after <= before + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Dimension exchange
+# ---------------------------------------------------------------------------
+
+
+def test_edge_colouring_is_proper():
+    g = nx.hypercube_graph(3)
+    colours = edge_colouring(g)
+    all_edges = [e for c in colours for e in c]
+    assert len(all_edges) == g.number_of_edges()
+    for matching in colours:
+        nodes = [n for e in matching for n in e]
+        assert len(nodes) == len(set(nodes))  # a valid matching
+
+
+def test_dimension_exchange_round_averages_pairs():
+    g = nx.path_graph(2)
+    new = dimension_exchange_round(g, np.array([10.0, 0.0]), [(0, 1)])
+    assert np.allclose(new, [5.0, 5.0])
+
+
+def test_dimension_exchange_round_rejects_nonmatching():
+    g = nx.path_graph(3)
+    with pytest.raises(ValueError, match="matching"):
+        dimension_exchange_round(g, np.zeros(3), [(0, 1), (1, 2)])
+
+
+@pytest.mark.parametrize("graph", [nx.path_graph(6), nx.hypercube_graph(3)])
+def test_dimension_exchange_balances(graph):
+    n = graph.number_of_nodes()
+    load = np.zeros(n)
+    load[0] = float(n)
+    final, cycles = dimension_exchange_balance(graph, load, tol=1e-8)
+    assert np.allclose(final, 1.0, atol=1e-6)
+    assert cycles >= 1
+
+
+def test_dimension_exchange_hypercube_one_cycle_is_exact():
+    """On a d-cube, one sweep through the d dimensions balances exactly."""
+    g = nx.hypercube_graph(3)
+    n = g.number_of_nodes()
+    rng = np.random.default_rng(3)
+    load = rng.uniform(0, 10, n)
+    final, cycles = dimension_exchange_balance(g, load, tol=1e-9)
+    assert cycles <= 3  # colouring may not align with dimensions exactly
+    assert np.allclose(final, load.mean(), atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Centralized
+# ---------------------------------------------------------------------------
+
+
+def test_centralized_balances_in_one_round():
+    load = np.array([10.0, 2.0, 0.0])
+    final, plan = centralized_balance(load)
+    assert np.allclose(final, 4.0)
+    # The plan actually realises the balance.
+    realised = load.copy()
+    for src, dst, amount in plan:
+        realised[src] -= amount
+        realised[dst] += amount
+    assert np.allclose(realised, 4.0)
+
+
+def test_centralized_plan_empty_when_balanced():
+    _, plan = centralized_balance(np.array([3.0, 3.0, 3.0]))
+    assert plan == []
+
+
+def test_centralized_cost_scales_linearly():
+    c4 = centralized_cost_model(4, latency=1e-3)
+    c16 = centralized_cost_model(16, latency=1e-3)
+    assert c16 / c4 == pytest.approx(15 / 3)
+    with pytest.raises(ValueError):
+        centralized_cost_model(0, latency=1e-3)
+
+
+# ---------------------------------------------------------------------------
+# Bertsekas asynchronous model
+# ---------------------------------------------------------------------------
+
+
+def test_bertsekas_reduces_imbalance_on_path():
+    g = nx.path_graph(5)
+    load = np.array([100.0, 0.0, 0.0, 0.0, 0.0])
+    res = simulate_bertsekas_lb(g, load, BertsekasParams(horizon=300.0), seed=1)
+    assert res.transfers > 0
+    assert res.final_imbalance < imbalance_ratio(load) / 2
+    assert res.final_load.sum() == pytest.approx(100.0, rel=1e-9)
+
+
+def test_bertsekas_variants_both_balance():
+    g = nx.cycle_graph(6)
+    rng = np.random.default_rng(0)
+    load = rng.uniform(0, 50, 6)
+    for variant in ("lightest", "all_lighter"):
+        res = simulate_bertsekas_lb(
+            g, load, BertsekasParams(variant=variant, horizon=400.0), seed=2
+        )
+        assert res.final_imbalance < 1.3, variant
+
+
+def test_bertsekas_threshold_prevents_thrashing_when_balanced():
+    g = nx.path_graph(4)
+    load = np.full(4, 10.0)
+    res = simulate_bertsekas_lb(
+        g, load, BertsekasParams(horizon=50.0, threshold_ratio=1.5), seed=3
+    )
+    assert res.transfers == 0
+
+
+def test_bertsekas_history_is_sampled():
+    g = nx.path_graph(3)
+    res = simulate_bertsekas_lb(
+        g,
+        np.array([30.0, 0.0, 0.0]),
+        BertsekasParams(horizon=100.0),
+        seed=4,
+        sample_period=2.0,
+    )
+    assert len(res.history_times) >= 40
+    # Imbalance trends down over the run (from 3.0 at t=0).
+    assert res.history_imbalance[0] <= 3.0
+    assert res.history_imbalance[-1] < 1.5
+    assert res.history_imbalance[-1] <= res.history_imbalance[0]
+
+
+def test_bertsekas_deterministic_per_seed():
+    g = nx.path_graph(4)
+    load = np.array([40.0, 0.0, 0.0, 0.0])
+    r1 = simulate_bertsekas_lb(g, load, BertsekasParams(horizon=100.0), seed=7)
+    r2 = simulate_bertsekas_lb(g, load, BertsekasParams(horizon=100.0), seed=7)
+    assert np.array_equal(r1.final_load, r2.final_load)
+    assert r1.transfers == r2.transfers
+
+
+def test_bertsekas_validation():
+    g = nx.path_graph(3)
+    with pytest.raises(ValueError):
+        simulate_bertsekas_lb(g, np.zeros(2))
+    with pytest.raises(ValueError):
+        simulate_bertsekas_lb(g, np.array([-1.0, 0.0, 0.0]))
+    with pytest.raises(ValueError):
+        BertsekasParams(threshold_ratio=1.0)
+    with pytest.raises(ValueError):
+        BertsekasParams(variant="middle")
+    with pytest.raises(ValueError):
+        BertsekasParams(transfer_fraction=0.0)

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure5" in out
+    assert "table1" in out
+    assert "ablations" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["warp-drive"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_full_flag_only_on_scalable_commands():
+    parser = build_parser()
+    args = parser.parse_args(["figure5", "--full"])
+    assert args.full
+    with pytest.raises(SystemExit):
+        parser.parse_args(["models", "--full"])
+
+
+def test_ablations_unknown_key_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["ablations", "--only", "nonsense"])
+
+
+def test_figures_command_runs_end_to_end(capsys):
+    assert main(["figures-1-4"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "idle fraction" in out
+    assert "completed in" in out
+
+
+def test_models_command_runs_end_to_end(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster" in out and "grid" in out
+
+
+def test_solve_command_heat_with_lb(capsys, tmp_path):
+    json_path = tmp_path / "run.json"
+    assert (
+        main(
+            [
+                "solve",
+                "--problem", "heat",
+                "--size", "32",
+                "--ranks", "3",
+                "--slow-factor", "4",
+                "--lb",
+                "--json", str(json_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "converged" in out
+    assert "max error vs sequential reference" in out
+    assert "final blocks" in out
+    assert json_path.exists()
+
+
+def test_solve_command_synthetic_sisc(capsys):
+    assert (
+        main(
+            [
+                "solve",
+                "--problem", "synthetic",
+                "--size", "48",
+                "--ranks", "4",
+                "--model", "sisc",
+                "--tolerance", "1e-8",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "sisc: converged" in out
+    assert "max residual error" in out
+
+
+def test_solve_command_gantt(capsys):
+    assert (
+        main(["solve", "--problem", "synthetic", "--size", "32", "--ranks", "2",
+              "--gantt"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "█" in out
+
+
+def test_solve_rejects_unknown_problem():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["solve", "--problem", "navier-stokes"])

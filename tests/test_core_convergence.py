@@ -1,0 +1,167 @@
+"""Tests for convergence detection (oracle and token ring)."""
+
+import pytest
+
+from repro.core.convergence import SupervisorMonitor, TokenRingDetector
+
+
+class Recorder:
+    def __init__(self):
+        self.fired = 0
+
+    def __call__(self):
+        self.fired += 1
+
+
+def test_monitor_requires_persistence_on_all_ranks():
+    rec = Recorder()
+    m = SupervisorMonitor(2, tolerance=1e-3, persistence=2, on_converged=rec)
+    m.report(0, 1e-4, now=1.0)
+    m.report(1, 1e-4, now=1.0)
+    assert not m.converged
+    m.report(0, 1e-4, now=2.0)
+    assert not m.converged  # rank 1 streak still 1
+    m.report(1, 1e-4, now=2.5)
+    assert m.converged
+    assert m.convergence_time == 2.5
+    assert rec.fired == 1
+
+
+def test_monitor_streak_resets_on_regression():
+    rec = Recorder()
+    m = SupervisorMonitor(1, 1e-3, 3, rec)
+    m.report(0, 1e-4, 1.0)
+    m.report(0, 1e-4, 2.0)
+    m.report(0, 5.0, 3.0)  # regression
+    m.report(0, 1e-4, 4.0)
+    m.report(0, 1e-4, 5.0)
+    assert not m.converged
+    m.report(0, 1e-4, 6.0)
+    assert m.converged
+
+
+def test_monitor_migration_resets_rank():
+    rec = Recorder()
+    m = SupervisorMonitor(2, 1e-3, 2, rec)
+    m.report(0, 1e-4, 1.0)
+    m.report(1, 1e-4, 1.0)
+    m.reset_rank(0)  # migration touched rank 0
+    m.report(1, 1e-4, 2.0)
+    assert not m.converged
+    m.report(0, 1e-4, 3.0)
+    m.report(0, 1e-4, 4.0)
+    assert m.converged
+
+
+def test_monitor_ignores_reports_after_convergence():
+    rec = Recorder()
+    m = SupervisorMonitor(1, 1e-3, 1, rec)
+    m.report(0, 1e-9, 1.0)
+    assert m.converged
+    m.report(0, 100.0, 2.0)
+    assert m.converged
+    assert rec.fired == 1
+
+
+def test_monitor_validation():
+    with pytest.raises(ValueError):
+        SupervisorMonitor(0, 1e-3, 1, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Token ring
+# ---------------------------------------------------------------------------
+
+
+def drive_ring(n_ranks, persistence=2):
+    det = TokenRingDetector(n_ranks, tolerance=1e-3, persistence=persistence)
+    return det
+
+
+def converge_rank(det, rank, times=None):
+    for _ in range(times or det.persistence):
+        det.report(rank, 1e-6)
+
+
+def test_ring_single_rank_converges_locally():
+    det = drive_ring(1)
+    converge_rank(det, 0)
+    token = det.should_launch(0)
+    assert token is None
+    assert det.converged
+
+
+def test_ring_full_round_trip():
+    det = drive_ring(3)
+    for r in range(3):
+        converge_rank(det, r)
+    token = det.should_launch(0)
+    assert token == {"phase": "query", "epoch": 1}
+    # Token travels right: rank 1 forwards, rank 2 turns it around.
+    fwd, d = det.on_token(1, token)
+    assert d == +1 and fwd["phase"] == "query"
+    back, d = det.on_token(2, fwd)
+    assert d == -1 and back["phase"] == "verify"
+    mid, d = det.on_token(1, back)
+    assert d == -1
+    halt, d = det.on_token(0, mid)
+    assert det.converged
+    assert halt["phase"] == "halt" and d == +1
+    nxt, d = det.on_token(1, halt)
+    assert nxt["phase"] == "halt"
+    end, d = det.on_token(2, nxt)
+    assert end is None and d == 0
+
+
+def test_ring_cancelled_by_unconverged_rank():
+    det = drive_ring(3)
+    converge_rank(det, 0)
+    converge_rank(det, 2)
+    token = det.should_launch(0)
+    cancel, d = det.on_token(1, token)  # rank 1 not converged
+    assert cancel == {"phase": "cancel", "epoch": 1} and d == -1
+    # The cancel travels home and closes the round, enabling a relaunch.
+    done, d = det.on_token(0, cancel)
+    assert done is None and d == 0
+    converge_rank(det, 1)
+    relaunch = det.should_launch(0)
+    assert relaunch == {"phase": "query", "epoch": 2}
+
+
+def test_ring_regression_during_verification_cancels():
+    det = drive_ring(3)
+    for r in range(3):
+        converge_rank(det, r)
+    token = det.should_launch(0)
+    fwd, _ = det.on_token(1, token)
+    back, _ = det.on_token(2, fwd)
+    det.report(1, 1.0)  # rank 1 regresses before verification reaches it
+    cancel, d = det.on_token(1, back)
+    assert cancel["phase"] == "cancel" and d == -1
+    assert not det.converged
+
+
+def test_ring_no_launch_while_round_active():
+    det = drive_ring(2)
+    converge_rank(det, 0)
+    converge_rank(det, 1)
+    assert det.should_launch(0) is not None
+    assert det.should_launch(0) is None  # round already active
+
+
+def test_ring_relaunch_after_own_regression():
+    det = drive_ring(2)
+    converge_rank(det, 0)
+    converge_rank(det, 1)
+    assert det.should_launch(0) is not None
+    det.report(0, 9.0)  # our own regression cancels the round
+    converge_rank(det, 0)
+    token = det.should_launch(0)
+    assert token is not None
+    assert token["epoch"] == 2
+
+
+def test_ring_non_zero_rank_never_launches():
+    det = drive_ring(3)
+    converge_rank(det, 1)
+    assert det.should_launch(1) is None

@@ -1,0 +1,168 @@
+"""Unit-level tests of the migration handshake (offer / reply / data).
+
+These drive small, crafted chains and inspect the protocol state
+machines directly — complementing the end-to-end tests in
+test_core_lb.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LBConfig, SolverConfig, run_balanced_aiac
+from repro.core.partition import PartitionError
+from repro.grid import homogeneous_cluster
+from repro.grid.host import Host
+from repro.grid.link import Link
+from repro.grid.network import Network
+from repro.grid.platform import Platform
+from repro.problems import SyntheticProblem
+
+
+def two_rank_platform(latency=0.01):
+    net = Network(Link(latency=latency, bandwidth=1e6))
+    return Platform(hosts=[Host("a", 100.0), Host("b", 400.0)], network=net)
+
+
+def imbalanced_problem(n=24):
+    # Uniform slow rates: residual lag between unequal-speed hosts
+    # triggers migrations.
+    return SyntheticProblem(np.full(n, 0.9), coupling=0.2)
+
+
+CFG = SolverConfig(tolerance=1e-8, max_iterations=40000)
+
+
+def test_every_offer_gets_exactly_one_reply():
+    r = run_balanced_aiac(
+        imbalanced_problem(),
+        two_rank_platform(),
+        CFG,
+        LBConfig(period=3, min_components=2),
+    )
+    assert r.converged
+    offers = [m for m in r.tracer.messages if m.kind.startswith("lb_offer")]
+    replies = [m for m in r.tracer.messages if m.kind.startswith("lb_reply")]
+    assert len(offers) == len(replies)
+    assert len(offers) == r.meta["offers_sent"]
+
+
+def test_data_messages_match_accepted_offers():
+    r = run_balanced_aiac(
+        imbalanced_problem(),
+        two_rank_platform(),
+        CFG,
+        LBConfig(period=3, min_components=2),
+    )
+    data = [m for m in r.tracer.messages if m.kind.startswith("lb_data")]
+    # Every migration produced one data message; cancels (n=0) may add more.
+    assert len(data) >= r.n_migrations
+    accepted = r.meta["offers_sent"] - r.meta["offers_rejected"]
+    assert len(data) == accepted
+
+
+def test_migration_sizes_respect_caps():
+    lb = LBConfig(period=3, min_components=3, max_fraction=0.25, accuracy=1.0)
+    r = run_balanced_aiac(imbalanced_problem(32), two_rank_platform(), CFG, lb)
+    assert r.converged
+    sizes = {0: 16, 1: 16}
+    for m in sorted(r.tracer.migrations, key=lambda m: m.time):
+        assert m.n_components <= max(1, int(0.25 * sizes[m.src_rank]))
+        sizes[m.src_rank] -= m.n_components
+        sizes[m.dst_rank] += m.n_components
+        assert sizes[m.src_rank] >= 3
+
+
+def test_partition_registry_validates_final_blocks():
+    r = run_balanced_aiac(
+        imbalanced_problem(),
+        two_rank_platform(),
+        CFG,
+        LBConfig(period=3, min_components=2),
+    )
+    blocks = sorted(r.final_partition)
+    assert blocks[0][0] == 0
+    assert blocks[-1][1] == 24
+    assert blocks[0][1] == blocks[1][0]
+
+
+def test_stale_halos_are_dropped_when_blocks_move():
+    # Frequent migrations + noticeable latency => some in-flight halos
+    # carry positions that no longer match and must be dropped.
+    r = run_balanced_aiac(
+        imbalanced_problem(48),
+        two_rank_platform(latency=0.2),
+        CFG,
+        LBConfig(period=2, min_components=2, max_fraction=0.5),
+    )
+    assert r.converged
+    assert np.max(r.solution()) < 1e-8  # correctness despite drops
+    if r.n_migrations > 3:
+        assert r.meta["stale_halos_dropped"] >= 0
+
+
+def test_three_rank_chain_funnels_work_to_fast_middle():
+    net = Network(Link(latency=0.01, bandwidth=1e6))
+    plat = Platform(
+        hosts=[Host("slow-l", 100.0), Host("fast", 600.0), Host("slow-r", 100.0)],
+        network=net,
+    )
+    r = run_balanced_aiac(
+        imbalanced_problem(30),
+        plat,
+        CFG,
+        LBConfig(period=3, min_components=2),
+    )
+    assert r.converged
+    sizes = r.meta["final_sizes"]
+    assert sizes[1] > sizes[0]
+    assert sizes[1] > sizes[2]
+
+
+# ---------------------------------------------------------------------------
+# Adaptive frequency (the paper's future work)
+# ---------------------------------------------------------------------------
+
+
+def test_adaptive_mode_converges_and_is_correct():
+    lb = LBConfig(period=4, adaptive=True, period_min=2, period_max=32)
+    r = run_balanced_aiac(imbalanced_problem(), two_rank_platform(), CFG, lb)
+    assert r.converged
+    assert np.max(r.solution()) < 1e-8
+
+
+def test_adaptive_mode_sends_fewer_offers_when_balanced():
+    """On an already-balanced homogeneous run, adaptive backs off."""
+    prob = lambda: SyntheticProblem(np.full(32, 0.9), coupling=0.2)  # noqa: E731
+    plat = homogeneous_cluster(2, speed=100.0)
+    fixed = run_balanced_aiac(
+        prob(), plat, CFG, LBConfig(period=4, threshold_ratio=1e9)
+    )
+    adaptive = run_balanced_aiac(
+        prob(),
+        plat,
+        CFG,
+        LBConfig(period=4, threshold_ratio=1e9, adaptive=True, period_max=64),
+    )
+    assert adaptive.converged and fixed.converged
+    # Neither migrates (threshold is huge); both stay healthy.
+    assert adaptive.n_migrations == fixed.n_migrations == 0
+
+
+def test_adaptive_config_validation():
+    with pytest.raises(ValueError):
+        LBConfig(period_min=0)
+    with pytest.raises(ValueError):
+        LBConfig(period_min=8, period_max=4)
+
+
+def test_paper_mode_retries_every_sweep_once_triggered():
+    """Without adaptivity, a node whose counter hit 0 keeps trying every
+    sweep until a migration fires (Algorithm 4/5 semantics)."""
+    r = run_balanced_aiac(
+        imbalanced_problem(),
+        two_rank_platform(),
+        CFG,
+        LBConfig(period=10, min_components=2),
+    )
+    assert r.converged
+    assert r.meta["offers_sent"] >= r.n_migrations

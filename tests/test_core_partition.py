@@ -1,0 +1,115 @@
+"""Tests for the partition registry, including property-based migration fuzzing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import PartitionError, PartitionRegistry
+
+
+def test_initial_split_is_even():
+    reg = PartitionRegistry(10, 3)
+    assert reg.sizes() == [4, 3, 3]
+    assert reg.block(0) == (0, 4)
+    assert reg.block(2) == (7, 10)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PartitionRegistry(2, 3)
+    with pytest.raises(ValueError):
+        PartitionRegistry(5, 0)
+
+
+def test_send_receive_left():
+    reg = PartitionRegistry(12, 3)  # [0,4) [4,8) [8,12)
+    lo, hi = reg.record_send(1, 2, "left")
+    assert (lo, hi) == (4, 6)
+    assert reg.block(1) == (6, 8)
+    assert reg.n_in_flight == 2
+    reg.record_receive(0, lo, hi)
+    assert reg.block(0) == (0, 6)
+    assert reg.n_in_flight == 0
+
+
+def test_send_receive_right():
+    reg = PartitionRegistry(12, 3)
+    lo, hi = reg.record_send(1, 3, "right")
+    assert (lo, hi) == (5, 8)
+    reg.record_receive(2, lo, hi)
+    assert reg.block(2) == (5, 12)
+
+
+def test_cannot_send_all_components():
+    reg = PartitionRegistry(12, 3)
+    with pytest.raises(PartitionError):
+        reg.record_send(1, 4, "right")
+
+
+def test_cannot_send_off_chain():
+    reg = PartitionRegistry(12, 3)
+    with pytest.raises(PartitionError):
+        reg.record_send(0, 1, "left")
+    with pytest.raises(PartitionError):
+        reg.record_send(2, 1, "right")
+
+
+def test_receive_unknown_flight_rejected():
+    reg = PartitionRegistry(12, 3)
+    with pytest.raises(PartitionError):
+        reg.record_receive(0, 4, 6)
+
+
+def test_receive_wrong_destination_rejected():
+    reg = PartitionRegistry(12, 3)
+    lo, hi = reg.record_send(1, 2, "left")
+    with pytest.raises(PartitionError):
+        reg.record_receive(2, lo, hi)
+
+
+def test_sequential_opposite_migrations_ok():
+    # i ships left, the receipt lands, then the neighbour ships right back.
+    reg = PartitionRegistry(12, 2)  # [0,6) [6,12)
+    lo, hi = reg.record_send(1, 2, "left")
+    reg.record_receive(0, lo, hi)
+    assert reg.sizes() == [8, 4]
+    lo, hi = reg.record_send(0, 5, "right")
+    reg.record_receive(1, lo, hi)
+    assert reg.sizes() == [3, 9]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_ranks=st.integers(2, 6),
+    per_rank=st.integers(3, 8),
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 5),  # rank (mod n_ranks)
+            st.sampled_from(["left", "right"]),
+            st.integers(1, 3),  # amount
+        ),
+        max_size=40,
+    ),
+)
+def test_property_random_migrations_keep_invariants(n_ranks, per_rank, ops):
+    """Any sequence of feasible migrations preserves coverage and order.
+
+    Infeasible operations must raise PartitionError and leave the
+    registry unchanged (checked via re-validation).
+    """
+    reg = PartitionRegistry(n_ranks * per_rank, n_ranks)
+    min_keep = 1
+    for rank_raw, side, amount in ops:
+        rank = rank_raw % n_ranks
+        dst = rank - 1 if side == "left" else rank + 1
+        feasible = (
+            0 <= dst < n_ranks and reg.n_local(rank) - amount >= min_keep
+        )
+        if feasible:
+            lo, hi = reg.record_send(rank, amount, side)
+            reg.record_receive(dst, lo, hi)
+        else:
+            with pytest.raises(PartitionError):
+                reg.record_send(rank, amount, side)
+        reg.check()
+        assert sum(reg.sizes()) == n_ranks * per_rank

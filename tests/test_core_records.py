@@ -1,0 +1,76 @@
+"""Tests for RunResult assembly, metrics and serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig, run_aiac
+from repro.grid import homogeneous_cluster
+from repro.problems import SyntheticProblem
+
+
+@pytest.fixture(scope="module")
+def result():
+    prob = SyntheticProblem(np.full(24, 0.8), coupling=0.3)
+    plat = homogeneous_cluster(3, speed=100.0)
+    return run_aiac(prob, plat, SolverConfig(tolerance=1e-8))
+
+
+def test_solution_assembles_in_global_order(result):
+    sol = result.solution()
+    assert sol.shape == (24,)
+
+
+def test_max_error_vs_shape_mismatch(result):
+    with pytest.raises(ValueError, match="shape"):
+        result.max_error_vs(np.zeros(7))
+
+
+def test_summary_mentions_key_facts(result):
+    text = result.summary()
+    assert "aiac" in text
+    assert "converged" in text
+    assert "3 ranks" in text
+
+
+def test_totals(result):
+    assert result.total_iterations == sum(result.iterations)
+    assert result.total_work == pytest.approx(sum(result.work))
+    assert result.n_ranks == 3
+
+
+def test_to_dict_round_trips_through_json(result):
+    data = result.to_dict()
+    text = json.dumps(data)
+    back = json.loads(text)
+    assert back["model"] == "aiac"
+    assert back["converged"] is True
+    assert len(back["iterations"]) == 3
+    assert back["n_messages"] > 0
+    assert "solution_blocks" not in back
+
+
+def test_to_dict_with_solution(result):
+    data = result.to_dict(include_solution=True)
+    blocks = data["solution_blocks"]
+    assert len(blocks) == 3
+    flattened = [x for block in blocks for x in block]
+    assert len(flattened) == 24
+
+
+def test_save_json(result, tmp_path):
+    path = tmp_path / "run.json"
+    result.save_json(str(path))
+    data = json.loads(path.read_text())
+    assert data["time"] == pytest.approx(result.time)
+
+
+def test_meta_non_serialisable_entries_dropped(result):
+    result.meta["weird"] = object()
+    try:
+        data = result.to_dict()
+        json.dumps(data)  # must not raise
+        assert "weird" not in data["meta"]
+    finally:
+        del result.meta["weird"]

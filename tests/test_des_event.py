@@ -1,0 +1,92 @@
+"""Tests for the deterministic event queue."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.des.event import EventQueue
+
+
+def test_pop_orders_by_time():
+    q = EventQueue()
+    order = []
+    q.push(3.0, lambda: order.append("c"))
+    q.push(1.0, lambda: order.append("a"))
+    q.push(2.0, lambda: order.append("b"))
+    while (e := q.pop()) is not None:
+        e.callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_scheduling_order():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.push(1.0, lambda i=i: order.append(i))
+    while (e := q.pop()) is not None:
+        e.callback()
+    assert order == list(range(10))
+
+
+def test_cancelled_events_skipped():
+    q = EventQueue()
+    fired = []
+    e1 = q.push(1.0, lambda: fired.append(1))
+    q.push(2.0, lambda: fired.append(2))
+    e1.cancel()
+    while (e := q.pop()) is not None:
+        e.callback()
+    assert fired == [2]
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    assert q.peek_time() == 1.0
+    e1.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_peek_time_empty():
+    assert EventQueue().peek_time() is None
+    assert EventQueue().pop() is None
+
+
+def test_len_counts_entries():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_property_pops_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while (e := q.pop()) is not None:
+        popped.append(e.time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from([0.0, 1.0, 2.0]), st.integers(0, 99)),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_equal_times_fifo(items):
+    q = EventQueue()
+    out = []
+    for t, tag in items:
+        q.push(t, lambda t=t, tag=tag: out.append((t, tag)))
+    while (e := q.pop()) is not None:
+        e.callback()
+    # Within each time bucket, tags appear in original scheduling order.
+    for bucket_time in (0.0, 1.0, 2.0):
+        expected = [tag for t, tag in items if t == bucket_time]
+        actual = [tag for t, tag in out if t == bucket_time]
+        assert actual == expected

@@ -1,0 +1,220 @@
+"""Tests for the simulation kernel: processes, clock, signals, errors."""
+
+import pytest
+
+from repro.des import Hold, Signal, Simulator, SimulationError, Wait
+
+
+def test_hold_advances_clock():
+    sim = Simulator()
+    times = []
+
+    def proc(sim):
+        yield Hold(2.5)
+        times.append(sim.now)
+        yield Hold(1.5)
+        times.append(sim.now)
+
+    sim.spawn("p", proc(sim))
+    sim.run()
+    assert times == [2.5, 4.0]
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    log = []
+
+    def proc(sim, period, label, n):
+        for _ in range(n):
+            yield Hold(period)
+            log.append((sim.now, label))
+
+    sim.spawn("a", proc(sim, 1.0, "a", 3))
+    sim.spawn("b", proc(sim, 1.5, "b", 2))
+    sim.run()
+    # At t == 3.0, b resumes first: its Hold was scheduled at t == 1.5,
+    # before a's at t == 2.0, and ties fire in scheduling order.
+    assert log == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"), (3.0, "a")]
+
+
+def test_signal_wait_and_payload():
+    sim = Simulator()
+    sig = Signal("data")
+    received = []
+
+    def waiter(sim):
+        payload = yield Wait(sig)
+        received.append((sim.now, payload))
+
+    def sender(sim):
+        yield Hold(5.0)
+        sig.trigger(sim, {"value": 7})
+
+    sim.spawn("w", waiter(sim))
+    sim.spawn("s", sender(sim))
+    sim.run()
+    assert received == [(5.0, {"value": 7})]
+
+
+def test_signal_wakes_all_current_waiters_only():
+    sim = Simulator()
+    sig = Signal()
+    woken = []
+
+    def waiter(sim, label):
+        yield Wait(sig)
+        woken.append(label)
+
+    def late_waiter(sim):
+        yield Hold(2.0)
+        yield Wait(sig)  # waits for a second trigger that never comes
+        woken.append("late")
+
+    def sender(sim):
+        yield Hold(1.0)
+        sig.trigger(sim)
+
+    sim.spawn("w1", waiter(sim, "w1"))
+    sim.spawn("w2", waiter(sim, "w2"))
+    sim.spawn("late", late_waiter(sim))
+    sim.spawn("s", sender(sim))
+    sim.run()
+    assert woken == ["w1", "w2"]
+
+
+def test_run_until_horizon_resumable():
+    sim = Simulator()
+    ticks = []
+
+    def ticker(sim):
+        while True:
+            yield Hold(1.0)
+            ticks.append(sim.now)
+
+    sim.spawn("t", ticker(sim))
+    sim.run(until=3.5)
+    assert sim.now == 3.5
+    assert ticks == [1.0, 2.0, 3.0]
+    sim.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_process_return_value_and_done_signal():
+    sim = Simulator()
+    results = []
+
+    def worker(sim):
+        yield Hold(1.0)
+        return 42
+
+    def watcher(sim, proc):
+        value = yield Wait(proc.done)
+        results.append(value)
+
+    p = sim.spawn("w", worker(sim))
+    sim.spawn("watch", watcher(sim, p))
+    sim.run()
+    assert p.result == 42
+    assert not p.alive
+    assert results == [42]
+
+
+def test_process_error_aborts_run():
+    sim = Simulator()
+
+    def bad(sim):
+        yield Hold(1.0)
+        raise ValueError("boom")
+
+    sim.spawn("bad", bad(sim))
+    with pytest.raises(SimulationError, match="bad"):
+        sim.run()
+
+
+def test_yield_garbage_is_an_error():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 123
+
+    sim.spawn("bad", bad(sim))
+    with pytest.raises(SimulationError, match="expected Hold"):
+        sim.run()
+
+
+def test_negative_hold_rejected():
+    with pytest.raises(ValueError):
+        Hold(-1.0)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule_at(1.0, sim.stop)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_stop_halts_loop():
+    sim = Simulator()
+    ticks = []
+
+    def ticker(sim):
+        while True:
+            yield Hold(1.0)
+            ticks.append(sim.now)
+            if sim.now >= 3.0:
+                sim.stop()
+
+    sim.spawn("t", ticker(sim))
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_yield_none_requeues_same_time():
+    sim = Simulator()
+    log = []
+
+    def a(sim):
+        log.append("a1")
+        yield None
+        log.append("a2")
+
+    def b(sim):
+        log.append("b1")
+        yield None
+        log.append("b2")
+
+    sim.spawn("a", a(sim))
+    sim.spawn("b", b(sim))
+    sim.run()
+    assert log == ["a1", "b1", "a2", "b2"]
+    assert sim.now == 0.0
+
+
+def test_run_until_signal():
+    sim = Simulator()
+    sig = Signal()
+
+    def sender(sim):
+        yield Hold(2.0)
+        sig.trigger(sim)
+        yield Hold(100.0)
+
+    sim.spawn("s", sender(sim))
+    fired = sim.run_until_signal(sig)
+    assert fired
+    assert sim.now == 2.0
+
+
+def test_run_until_signal_horizon_miss():
+    sim = Simulator()
+    sig = Signal()
+
+    def nothing(sim):
+        yield Hold(10.0)
+
+    sim.spawn("n", nothing(sim))
+    fired = sim.run_until_signal(sig, horizon=1.0)
+    assert not fired
+    assert sim.now == 1.0

@@ -1,0 +1,101 @@
+"""Tests for virtual-time mutexes and barriers."""
+
+import pytest
+
+from repro.des import Barrier, Hold, Mutex, Simulator, Wait
+
+
+def test_mutex_try_acquire_and_release():
+    sim = Simulator()
+    m = Mutex("chan")
+    assert m.try_acquire()
+    assert not m.try_acquire()
+    m.release(sim)
+    assert m.try_acquire()
+
+
+def test_mutex_release_unheld_raises():
+    with pytest.raises(RuntimeError):
+        Mutex().release(Simulator())
+
+
+def test_mutex_fifo_handoff():
+    sim = Simulator()
+    m = Mutex()
+    order = []
+
+    def holder(sim):
+        assert m.try_acquire()
+        yield Hold(5.0)
+        m.release(sim)
+        order.append(("holder-released", sim.now))
+
+    def contender(sim, label, arrival):
+        yield Hold(arrival)
+        if not m.try_acquire():
+            yield Wait(m.acquire_signal())
+        order.append((label, sim.now))
+        m.release(sim)
+
+    sim.spawn("h", holder(sim))
+    sim.spawn("c1", contender(sim, "c1", 1.0))
+    sim.spawn("c2", contender(sim, "c2", 2.0))
+    sim.run()
+    labels = [x[0] for x in order]
+    assert labels == ["holder-released", "c1", "c2"]
+    # Contenders get the lock only when the holder releases at t=5.
+    assert all(t == 5.0 for _, t in order)
+
+
+def test_barrier_releases_all_on_last_arrival():
+    sim = Simulator()
+    barrier = Barrier(3)
+    passed = []
+
+    def party(sim, label, delay):
+        yield Hold(delay)
+        signal = barrier.arrive(sim)
+        if signal is not None:
+            yield Wait(signal)
+        passed.append((label, sim.now))
+
+    sim.spawn("a", party(sim, "a", 1.0))
+    sim.spawn("b", party(sim, "b", 3.0))
+    sim.spawn("c", party(sim, "c", 2.0))
+    sim.run()
+    assert sorted(t for _, t in passed) == [3.0, 3.0, 3.0]
+    assert barrier.generation == 1
+
+
+def test_barrier_is_cyclic():
+    sim = Simulator()
+    barrier = Barrier(2)
+    crossings = []
+
+    def party(sim, label, period):
+        for _ in range(3):
+            yield Hold(period)
+            signal = barrier.arrive(sim)
+            if signal is not None:
+                yield Wait(signal)
+            crossings.append((label, sim.now))
+
+    sim.spawn("fast", party(sim, "fast", 1.0))
+    sim.spawn("slow", party(sim, "slow", 2.0))
+    sim.run()
+    times = sorted(t for _, t in crossings)
+    # Lock-step: both cross at the slow party's pace.
+    assert times == [2.0, 2.0, 4.0, 4.0, 6.0, 6.0]
+    assert barrier.generation == 3
+
+
+def test_barrier_single_party_never_blocks():
+    sim = Simulator()
+    barrier = Barrier(1)
+    assert barrier.arrive(sim) is None
+    assert barrier.generation == 1
+
+
+def test_barrier_requires_positive_parties():
+    with pytest.raises(ValueError):
+        Barrier(0)

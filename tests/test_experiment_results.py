@@ -1,0 +1,54 @@
+"""Tests for the experiment result containers and their reports."""
+
+import pytest
+
+from repro.experiments.ablations import AblationResult
+from repro.experiments.figure5 import Figure5Result
+
+
+def make_figure5():
+    return Figure5Result(
+        proc_counts=[4, 8, 16],
+        time_unbalanced=[1000.0, 500.0, 300.0],
+        time_balanced=[400.0, 200.0, 100.0],
+        migrations=[10, 20, 30],
+    )
+
+
+def test_figure5_ratios_and_mean():
+    r = make_figure5()
+    assert r.ratios == [2.5, 2.5, 3.0]
+    assert r.mean_ratio == pytest.approx((2.5 + 2.5 + 3.0) / 3)
+
+
+def test_figure5_report_contains_table_and_plot():
+    report = make_figure5().report()
+    assert "procs" in report
+    assert "without LB" in report
+    assert "mean ratio" in report
+    assert "[log-log]" in report  # the ASCII plot
+    assert "legend:" in report
+
+
+def test_ablation_result_best_and_report():
+    r = AblationResult(
+        name="demo sweep",
+        parameter="knob",
+        values=[1, 2, 3],
+        times=[30.0, 10.0, 20.0],
+        migrations=[5, 6, 7],
+        extra={"note": ["a", "b", "c"]},
+    )
+    assert r.best() == 2
+    report = r.report()
+    assert "demo sweep" in report
+    assert "knob" in report
+    assert "best: knob = 2" in report
+    assert "note" in report
+
+
+def test_ablation_report_without_extra_columns():
+    r = AblationResult(
+        name="x", parameter="p", values=[1], times=[1.0], migrations=[0], extra={}
+    )
+    assert "best: p = 1" in r.report()

@@ -1,0 +1,97 @@
+"""Tests for availability traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grid.traces import (
+    MIN_AVAILABILITY,
+    ConstantTrace,
+    MarkovTrace,
+    PiecewiseTrace,
+)
+from repro.util.rng import spawn_generator
+
+
+def test_constant_trace():
+    t = ConstantTrace(0.5)
+    assert t.value(0) == 0.5
+    assert t.value(1e9) == 0.5
+    assert t.next_change(0) == float("inf")
+    assert t.mean_over(0, 10) == 0.5
+
+
+def test_constant_trace_bounds():
+    with pytest.raises(ValueError):
+        ConstantTrace(0.0)
+    with pytest.raises(ValueError):
+        ConstantTrace(1.5)
+
+
+def test_piecewise_values_and_changes():
+    t = PiecewiseTrace([0.0, 10.0, 20.0], [1.0, 0.5, 0.25])
+    assert t.value(0) == 1.0
+    assert t.value(9.999) == 1.0
+    assert t.value(10.0) == 0.5
+    assert t.value(25.0) == 0.25
+    assert t.next_change(0) == 10.0
+    assert t.next_change(10.0) == 20.0
+    assert t.next_change(20.0) == float("inf")
+
+
+def test_piecewise_mean_over():
+    t = PiecewiseTrace([0.0, 10.0], [1.0, 0.5])
+    assert t.mean_over(0, 20) == pytest.approx(0.75)
+    assert t.mean_over(5, 15) == pytest.approx(0.75)
+
+
+def test_piecewise_validation():
+    with pytest.raises(ValueError):
+        PiecewiseTrace([1.0], [0.5])  # must start at 0
+    with pytest.raises(ValueError):
+        PiecewiseTrace([0.0, 0.0], [0.5, 0.5])  # not increasing
+    with pytest.raises(ValueError):
+        PiecewiseTrace([0.0], [0.0])  # below floor
+    with pytest.raises(ValueError):
+        PiecewiseTrace([0.0, 1.0], [0.5])  # length mismatch
+    with pytest.raises(ValueError):
+        PiecewiseTrace([], [])
+
+
+def test_markov_trace_deterministic_per_seed():
+    t1 = MarkovTrace(spawn_generator(1, "load"), mean_dwell=5.0)
+    t2 = MarkovTrace(spawn_generator(1, "load"), mean_dwell=5.0)
+    ts = np.linspace(0, 200, 77)
+    assert [t1.value(x) for x in ts] == [t2.value(x) for x in ts]
+
+
+def test_markov_trace_query_order_independent():
+    t1 = MarkovTrace(spawn_generator(3, "load"), mean_dwell=5.0)
+    t2 = MarkovTrace(spawn_generator(3, "load"), mean_dwell=5.0)
+    # Force t2 far into the future first; values at small t must agree.
+    t2.value(500.0)
+    for x in [0.0, 1.0, 7.5, 33.3]:
+        assert t1.value(x) == t2.value(x)
+
+
+def test_markov_trace_respects_bounds():
+    t = MarkovTrace(spawn_generator(2, "load"), mean_dwell=1.0, low=0.3, high=0.7)
+    for x in np.linspace(0, 100, 333):
+        assert 0.3 <= t.value(x) <= 0.7
+
+
+def test_markov_next_change_is_strictly_after():
+    t = MarkovTrace(spawn_generator(4, "load"), mean_dwell=2.0)
+    x = 0.0
+    for _ in range(50):
+        nxt = t.next_change(x)
+        assert nxt > x
+        x = nxt
+
+
+@given(st.floats(min_value=0, max_value=1e4), st.floats(min_value=0, max_value=1e4))
+def test_property_markov_value_in_range(a, b):
+    t = MarkovTrace(spawn_generator(9, "load"), mean_dwell=3.0, low=0.2, high=0.9)
+    for x in (a, b):
+        assert MIN_AVAILABILITY <= 0.2 <= t.value(x) <= 0.9

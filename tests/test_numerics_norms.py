@@ -1,0 +1,33 @@
+"""Tests for norms."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.norms import l2_norm, max_abs_norm, relative_change
+
+
+def test_max_abs_norm():
+    assert max_abs_norm(np.array([1.0, -3.0, 2.0])) == 3.0
+    assert max_abs_norm(np.array([])) == 0.0
+    assert max_abs_norm(np.array([[1.0, -4.0], [2.0, 0.0]])) == 4.0
+
+
+def test_l2_norm():
+    assert l2_norm(np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+
+def test_relative_change():
+    old = np.array([1.0, 2.0])
+    new = np.array([1.1, 2.0])
+    assert relative_change(new, old) == pytest.approx(0.1 / 2.0)
+
+
+def test_relative_change_zero_old_uses_floor():
+    old = np.zeros(2)
+    new = np.array([1.0, 0.0])
+    assert relative_change(new, old) > 1e20  # floored denominator
+
+
+def test_relative_change_shape_mismatch():
+    with pytest.raises(ValueError):
+        relative_change(np.zeros(2), np.zeros(3))

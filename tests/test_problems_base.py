@@ -1,0 +1,62 @@
+"""Tests for the Problem base class helpers and IterationResult."""
+
+import numpy as np
+import pytest
+
+from repro.problems import HeatProblem, SyntheticProblem
+from repro.problems.base import IterationResult
+
+
+def test_iteration_result_aligns_shapes():
+    with pytest.raises(ValueError, match="align"):
+        IterationResult(residuals=np.zeros(3), work=np.zeros(2))
+
+
+def test_iteration_result_metrics():
+    res = IterationResult(
+        residuals=np.array([0.1, 0.5, 0.2]), work=np.array([1.0, 2.0, 3.0])
+    )
+    assert res.local_residual == 0.5
+    assert res.total_work == 6.0
+
+
+def test_iteration_result_empty_block():
+    res = IterationResult(residuals=np.zeros(0), work=np.zeros(0))
+    assert res.local_residual == 0.0
+    assert res.total_work == 0.0
+
+
+def test_check_side():
+    prob = SyntheticProblem(np.full(4, 0.5))
+    assert prob.check_side("left") == "left"
+    with pytest.raises(ValueError, match="side"):
+        prob.check_side("up")
+
+
+def test_default_payload_edge_halo_matches_halo_format():
+    """For array-per-component problems, the default implementation's
+    output must be shape-compatible with halo_out."""
+    prob = HeatProblem(10, t_end=0.05, n_steps=8)
+    state = prob.initial_state(0, 10)
+    payload = prob.split(state, 4, "left")
+    first = prob.payload_edge_halo(payload, "first")
+    last = prob.payload_edge_halo(payload, "last")
+    reference_halo = prob.halo_out(state, "left")
+    assert first.shape == reference_halo.shape
+    assert last.shape == reference_halo.shape
+    assert np.array_equal(last, payload[-1:])
+    with pytest.raises(ValueError, match="edge"):
+        prob.payload_edge_halo(payload, "middle")
+
+
+def test_brusselator_payload_edge_halo_drops_component_axis():
+    from repro.problems import BrusselatorProblem
+
+    prob = BrusselatorProblem(10, t_end=1.0, n_steps=8)
+    state = prob.initial_state(0, 10)
+    payload = prob.split(state, 4, "right")
+    halo = prob.payload_edge_halo(payload, "first")
+    assert halo.shape == (2, prob.n_steps + 1)
+    assert np.array_equal(halo, payload[0])
+    with pytest.raises(ValueError):
+        prob.payload_edge_halo(payload, "center")

@@ -1,0 +1,120 @@
+"""Tests for the linear fixed-point problem."""
+
+import numpy as np
+import pytest
+
+from repro.problems.linear import LinearFixedPointProblem, random_contraction_system
+from repro.util.rng import spawn_generator
+
+
+def make_problem(n=20, seed=0, contraction=0.8):
+    rng = spawn_generator(seed, "linear")
+    lower, diag, upper, b = random_contraction_system(n, rng, contraction=contraction)
+    return LinearFixedPointProblem(lower, diag, upper, b)
+
+
+def test_generator_contraction_bound():
+    rng = spawn_generator(1, "gen")
+    lower, diag, upper, _ = random_contraction_system(30, rng, contraction=0.7)
+    rows = np.abs(lower) + np.abs(diag) + np.abs(upper)
+    assert np.all(rows <= 0.7 + 1e-12)
+
+
+def test_non_contraction_rejected():
+    with pytest.raises(ValueError, match="max-norm"):
+        LinearFixedPointProblem(
+            np.array([0.0, 0.5]),
+            np.array([0.6, 0.6]),
+            np.array([0.5, 0.0]),
+            np.zeros(2),
+        )
+
+
+def test_fixed_point_satisfies_equation():
+    p = make_problem(25)
+    x = p.fixed_point()
+    x_pad_l = np.concatenate([[0.0], x[:-1]])
+    x_pad_r = np.concatenate([x[1:], [0.0]])
+    assert np.allclose(p.lower * x_pad_l + p.diag * x + p.upper * x_pad_r + p.b, x)
+
+
+def test_jacobi_sweeps_converge_to_fixed_point():
+    p = make_problem(25, contraction=0.6)
+    state = p.initial_state(0, 25)
+    for _ in range(80):
+        res = p.iterate(state, np.zeros(1), np.zeros(1))
+    assert res.local_residual < 1e-12
+    assert np.allclose(state.x, p.fixed_point(), atol=1e-10)
+
+
+def test_two_block_jacobi_converges():
+    p = make_problem(30, contraction=0.7)
+    a = p.initial_state(0, 17)
+    b = p.initial_state(17, 30)
+    for _ in range(150):
+        ha_l = p.initial_halo(-1)
+        ha_r = p.halo_out(b, "left")
+        hb_l = p.halo_out(a, "right")
+        hb_r = p.initial_halo(30)
+        p.iterate(a, ha_l, ha_r)
+        p.iterate(b, hb_l, hb_r)
+    assembled = np.concatenate([a.x, b.x])
+    assert np.allclose(assembled, p.fixed_point(), atol=1e-9)
+
+
+def test_constant_work_per_component():
+    p = make_problem(10)
+    state = p.initial_state(0, 10)
+    res = p.iterate(state, np.zeros(1), np.zeros(1))
+    assert np.all(res.work == p.cost_per_component)
+
+
+def test_split_merge_roundtrip():
+    p = make_problem(12)
+    state = p.initial_state(0, 12)
+    state.x[:] = np.arange(12.0)
+    payload = p.split(state, 4, "right")
+    assert state.n == 8
+    p.merge(state, payload, "right")
+    assert np.array_equal(state.x, np.arange(12.0))
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        LinearFixedPointProblem(np.zeros(3), np.zeros(3), np.zeros(2), np.zeros(3))
+
+
+def test_ordering_validation():
+    rng = spawn_generator(0, "x")
+    parts = random_contraction_system(5, rng)
+    with pytest.raises(ValueError, match="ordering"):
+        LinearFixedPointProblem(*parts, ordering="zigzag")
+
+
+def test_gauss_seidel_converges_to_same_fixed_point():
+    rng = spawn_generator(11, "gs")
+    parts = random_contraction_system(30, rng, contraction=0.8)
+    gs = LinearFixedPointProblem(*parts, ordering="gauss_seidel")
+    state = gs.initial_state(0, 30)
+    for _ in range(200):
+        res = gs.iterate(state, np.zeros(1), np.zeros(1))
+    assert res.local_residual < 1e-12
+    assert np.allclose(state.x, gs.fixed_point(), atol=1e-10)
+
+
+def test_gauss_seidel_converges_in_fewer_sweeps_than_jacobi():
+    """Paper §1.1: Gauss-Seidel may converge faster than Jacobi."""
+    rng = spawn_generator(12, "cmp")
+    parts = random_contraction_system(40, rng, contraction=0.9)
+
+    def sweeps_to(problem, tol=1e-10, cap=2000):
+        state = problem.initial_state(0, 40)
+        for k in range(cap):
+            res = problem.iterate(state, np.zeros(1), np.zeros(1))
+            if res.local_residual < tol:
+                return k + 1
+        raise AssertionError("did not converge")
+
+    jacobi = sweeps_to(LinearFixedPointProblem(*parts, ordering="jacobi"))
+    gs = sweeps_to(LinearFixedPointProblem(*parts, ordering="gauss_seidel"))
+    assert gs < jacobi

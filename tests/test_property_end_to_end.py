@@ -1,0 +1,121 @@
+"""Property-based end-to-end fuzzing of the full solver stack.
+
+Hypothesis draws random platforms (rank counts, speed spreads, link
+latencies, load traces) and solver/LB configurations; every draw must
+converge to the correct fixed point.  This is the library's central
+correctness claim — asynchronous iterations with migrations are correct
+under *any* schedule — exercised on schedules nobody hand-picked.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import LBConfig, SolverConfig, run_aiac, run_balanced_aiac
+from repro.grid.host import Host
+from repro.grid.link import Link
+from repro.grid.network import Network
+from repro.grid.platform import Platform
+from repro.grid.traces import MarkovTrace
+from repro.models import run_siac, run_sisc
+from repro.problems import SyntheticProblem
+from repro.util.rng import spawn_generator
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def build_platform(n_ranks, speeds, latency, load_seed, fluctuate):
+    hosts = []
+    for i in range(n_ranks):
+        trace = None
+        if fluctuate:
+            trace = MarkovTrace(
+                spawn_generator(load_seed, f"h{i}"),
+                mean_dwell=3.0,
+                low=0.3,
+                high=1.0,
+            )
+        hosts.append(Host(f"h{i}", speed=speeds[i], trace=trace))
+    return Platform(hosts=hosts, network=Network(Link(latency=latency, bandwidth=1e6)))
+
+
+platform_strategy = st.builds(
+    build_platform,
+    n_ranks=st.shared(st.integers(1, 4), key="ranks"),
+    speeds=st.shared(st.integers(1, 4), key="ranks").flatmap(
+        lambda n: st.lists(
+            st.floats(min_value=50.0, max_value=500.0), min_size=n, max_size=n
+        )
+    ),
+    latency=st.floats(min_value=0.0, max_value=0.2),
+    load_seed=st.integers(0, 99),
+    fluctuate=st.booleans(),
+)
+
+
+def problem(seed):
+    rng = spawn_generator(seed, "rates")
+    rates = rng.uniform(0.3, 0.9, 20)
+    return SyntheticProblem(rates, coupling=0.3)
+
+
+@SLOW
+@given(platform=platform_strategy, seed=st.integers(0, 50))
+def test_property_aiac_always_correct(platform, seed):
+    result = run_aiac(
+        problem(seed), platform, SolverConfig(tolerance=1e-7, max_iterations=30000)
+    )
+    assert result.converged
+    assert np.max(result.solution()) < 1e-7
+
+
+@SLOW
+@given(
+    platform=platform_strategy,
+    seed=st.integers(0, 50),
+    period=st.integers(1, 12),
+    threshold=st.floats(min_value=1.1, max_value=8.0),
+    accuracy=st.floats(min_value=0.1, max_value=1.0),
+    max_fraction=st.floats(min_value=0.1, max_value=1.0),
+    adaptive=st.booleans(),
+)
+def test_property_balanced_aiac_always_correct(
+    platform, seed, period, threshold, accuracy, max_fraction, adaptive
+):
+    lb = LBConfig(
+        period=period,
+        threshold_ratio=threshold,
+        accuracy=accuracy,
+        max_fraction=max_fraction,
+        min_components=2,
+        adaptive=adaptive,
+    )
+    result = run_balanced_aiac(
+        problem(seed),
+        platform,
+        SolverConfig(tolerance=1e-7, max_iterations=30000),
+        lb,
+    )
+    assert result.converged
+    assert np.max(result.solution()) < 1e-7
+    # Partition stayed a tiling of the component space.
+    blocks = sorted(result.final_partition)
+    cursor = 0
+    for lo, hi in blocks:
+        assert lo == cursor
+        cursor = hi
+    assert cursor == 20
+
+
+@SLOW
+@given(platform=platform_strategy, seed=st.integers(0, 50))
+def test_property_synchronous_models_always_correct(platform, seed):
+    cfg = SolverConfig(tolerance=1e-7, max_iterations=30000)
+    for runner in (run_sisc, run_siac):
+        result = runner(problem(seed), platform, cfg)
+        assert result.converged
+        assert np.max(result.solution()) < 1e-7

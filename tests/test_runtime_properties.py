@@ -1,0 +1,135 @@
+"""Property-based tests of the messaging runtime and the spin throttle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SolverConfig, run_aiac
+from repro.des import Hold, Simulator
+from repro.grid import homogeneous_cluster
+from repro.grid.host import Host
+from repro.grid.link import Link
+from repro.grid.network import Network
+from repro.problems import BrusselatorProblem, SyntheticProblem
+from repro.runtime.node import GridNode
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5.0),  # send delay
+            st.floats(min_value=0.0, max_value=1000.0),  # size bytes
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_fifo_per_channel_under_any_schedule(sends):
+    """Messages on one channel arrive in send order, whatever their sizes."""
+    sim = Simulator()
+    net = Network(Link(latency=0.01, bandwidth=100.0))  # size matters a lot
+    a = GridNode(sim, 0, Host("a", 1.0), net)
+    b = GridNode(sim, 1, Host("b", 1.0), net)
+    received = []
+    b.register_handler("data", lambda m: received.append(m.payload))
+
+    def sender(sim):
+        for i, (delay, size) in enumerate(sends):
+            yield Hold(delay)
+            a.send(b, "data", i, size_bytes=size)
+
+    sim.spawn("s", sender(sim))
+    sim.run()
+    assert received == list(range(len(sends)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=20)
+)
+def test_property_exclusive_channel_never_doubles_in_flight(delays):
+    """Under exclusive sends, at most one message per channel in flight."""
+    sim = Simulator()
+    net = Network(Link(latency=1.0, bandwidth=1e9))
+    a = GridNode(sim, 0, Host("a", 1.0), net)
+    b = GridNode(sim, 1, Host("b", 1.0), net)
+    in_flight = [0]
+    max_in_flight = [0]
+
+    def on_data(msg):
+        in_flight[0] -= 1
+
+    b.register_handler("halo", on_data)
+
+    def sender(sim):
+        for delay in delays:
+            yield Hold(delay)
+            if a.send(b, "halo", None, 8.0, exclusive=True):
+                in_flight[0] += 1
+                max_in_flight[0] = max(max_in_flight[0], in_flight[0])
+
+    sim.spawn("s", sender(sim))
+    sim.run()
+    assert max_in_flight[0] <= 1
+
+
+# ---------------------------------------------------------------------------
+# Spin throttle (SolverConfig.min_sweep_duration)
+# ---------------------------------------------------------------------------
+
+
+def test_throttle_validation():
+    with pytest.raises(ValueError):
+        SolverConfig(min_sweep_duration=-0.1)
+
+
+def test_throttle_reduces_sweep_count_without_changing_answer():
+    def prob():
+        return SyntheticProblem(np.full(24, 0.8), coupling=0.3)
+
+    plat = homogeneous_cluster(3, speed=1e6)  # near-free sweeps: spin city
+    free = run_aiac(prob(), plat, SolverConfig(tolerance=1e-8))
+    throttled = run_aiac(
+        prob(), plat, SolverConfig(tolerance=1e-8, min_sweep_duration=0.01)
+    )
+    assert free.converged and throttled.converged
+    assert throttled.total_iterations < free.total_iterations
+    assert np.max(throttled.solution()) < 1e-8
+
+
+def test_throttle_noop_when_sweeps_already_slow():
+    def prob():
+        return SyntheticProblem(np.full(24, 0.8), coupling=0.3)
+
+    plat = homogeneous_cluster(2, speed=100.0)  # sweeps ~0.25s >> floor
+    base = run_aiac(prob(), plat, SolverConfig(tolerance=1e-8))
+    floored = run_aiac(
+        prob(), plat, SolverConfig(tolerance=1e-8, min_sweep_duration=1e-4)
+    )
+    assert base.time == floored.time
+    assert base.iterations == floored.iterations
+
+
+def test_throttle_with_skip_problem_bounds_spinning():
+    """The motivating case: a fully-skipped rank must not spin wildly."""
+    def prob(skip):
+        return BrusselatorProblem(
+            24, t_end=2.0, n_steps=15,
+            skip_converged=skip, skip_threshold=1e-5,
+        )
+
+    net = Network(Link(latency=1e-4, bandwidth=1e8))
+    from repro.grid.platform import Platform
+
+    plat = Platform(
+        hosts=[Host("fast", 50_000.0), Host("slow", 5_000.0)], network=net
+    )
+    cfg = SolverConfig(
+        tolerance=1e-7, max_iterations=30_000, min_sweep_duration=0.005
+    )
+    r = run_aiac(prob(True), plat, cfg)
+    assert r.converged
+    ref = prob(False).reference_solution()
+    assert r.max_error_vs(ref) < 1e-4

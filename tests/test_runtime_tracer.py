@@ -1,0 +1,41 @@
+"""Tests for the execution tracer."""
+
+from repro.runtime.tracer import (
+    IdleSpan,
+    IterationSpan,
+    MigrationRecord,
+    ResidualRecord,
+    Tracer,
+)
+
+
+def test_busy_and_idle_accounting():
+    t = Tracer()
+    t.iteration(IterationSpan(rank=0, iteration=0, t0=0.0, t1=2.0, work=10))
+    t.iteration(IterationSpan(rank=0, iteration=1, t0=3.0, t1=5.0, work=10))
+    t.iteration(IterationSpan(rank=1, iteration=0, t0=0.0, t1=1.0, work=5))
+    t.idle(IdleSpan(rank=0, t0=2.0, t1=3.0, reason="barrier"))
+    assert t.busy_time_of(0) == 4.0
+    assert t.busy_time_of(1) == 1.0
+    assert t.idle_time_of(0) == 1.0
+    assert t.idle_time_of(1) == 0.0
+    assert len(t.iterations_of(0)) == 2
+
+
+def test_disabled_tracer_skips_detail_but_keeps_migrations():
+    t = Tracer(enabled=False)
+    t.iteration(IterationSpan(0, 0, 0.0, 1.0, 1))
+    t.residual(ResidualRecord(0, 0, 1.0, 0.5, 10))
+    t.migration(MigrationRecord(0, 1, 5, 2.0, 0.9, 0.1))
+    assert t.iterations == []
+    assert t.residuals == []
+    assert t.n_migrations() == 1
+    assert t.components_migrated() == 5
+
+
+def test_migration_aggregates():
+    t = Tracer()
+    t.migration(MigrationRecord(0, 1, 5, 1.0, 0.9, 0.1))
+    t.migration(MigrationRecord(2, 1, 3, 2.0, 0.8, 0.2))
+    assert t.n_migrations() == 2
+    assert t.components_migrated() == 8

@@ -1,0 +1,85 @@
+"""Tests for logical chain orderings and dependency graphs."""
+
+import networkx as nx
+import pytest
+
+from repro.grid.platform import SiteSpec, homogeneous_cluster, multi_site_grid
+from repro.topology import (
+    chain_dependency_graph,
+    dependency_graph_stats,
+    identity_order,
+    interleaved_sites_order,
+    random_order,
+    sorted_by_speed_order,
+)
+from repro.util.rng import RngTree
+
+
+def test_identity_order():
+    plat = homogeneous_cluster(5)
+    assert identity_order(plat) == [0, 1, 2, 3, 4]
+
+
+def test_interleaved_sites_alternate():
+    plat = multi_site_grid(
+        [SiteSpec("a", 3), SiteSpec("b", 3)], RngTree(1)
+    )
+    order = interleaved_sites_order(plat)
+    assert sorted(order) == list(range(6))
+    sites = [plat.hosts[i].site for i in order]
+    # Adjacent ranks sit on different sites.
+    assert all(s1 != s2 for s1, s2 in zip(sites, sites[1:]))
+
+
+def test_interleaved_sites_uneven():
+    plat = multi_site_grid(
+        [SiteSpec("a", 4), SiteSpec("b", 1)], RngTree(1)
+    )
+    order = interleaved_sites_order(plat)
+    assert sorted(order) == list(range(5))
+
+
+def test_random_order_is_seeded_permutation():
+    plat = homogeneous_cluster(8)
+    o1 = random_order(plat, seed=3)
+    o2 = random_order(plat, seed=3)
+    o3 = random_order(plat, seed=4)
+    assert o1 == o2
+    assert sorted(o1) == list(range(8))
+    assert o1 != o3
+
+
+def test_sorted_by_speed():
+    plat = multi_site_grid(
+        [SiteSpec("a", 6, speed_range=(100.0, 900.0))], RngTree(5)
+    )
+    order = sorted_by_speed_order(plat)
+    speeds = [plat.hosts[i].speed for i in order]
+    assert speeds == sorted(speeds, reverse=True)
+    order_slow = sorted_by_speed_order(plat, fastest_first=False)
+    assert order_slow == order[::-1]
+
+
+def test_chain_dependency_graph():
+    g = chain_dependency_graph(5)
+    assert g.number_of_nodes() == 5
+    assert g.number_of_edges() == 4
+    assert nx.is_connected(g)
+    with pytest.raises(ValueError):
+        chain_dependency_graph(0)
+
+
+def test_dependency_graph_stats():
+    stats = dependency_graph_stats(chain_dependency_graph(6))
+    assert stats["n_nodes"] == 6
+    assert stats["max_degree"] == 2
+    assert stats["diameter"] == 5
+    assert stats["connected"]
+    with pytest.raises(ValueError):
+        dependency_graph_stats(nx.Graph())
+
+
+def test_single_rank_chain():
+    stats = dependency_graph_stats(chain_dependency_graph(1))
+    assert stats["n_edges"] == 0
+    assert stats["diameter"] == 0

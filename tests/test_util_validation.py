@@ -1,0 +1,53 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+def test_check_positive_accepts_and_returns():
+    assert check_positive("x", 1.5) == 1.5
+
+
+@pytest.mark.parametrize("bad", [0, -1, -0.5, float("nan")])
+def test_check_positive_rejects(bad):
+    with pytest.raises(ValueError, match="x"):
+        check_positive("x", bad)
+
+
+def test_check_non_negative():
+    assert check_non_negative("x", 0) == 0
+    with pytest.raises(ValueError):
+        check_non_negative("x", -1e-12)
+
+
+def test_check_in_range_inclusive_bounds():
+    assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+    assert check_in_range("x", 2.0, 1.0, 2.0) == 2.0
+    with pytest.raises(ValueError):
+        check_in_range("x", 2.0001, 1.0, 2.0)
+
+
+def test_check_in_range_exclusive():
+    with pytest.raises(ValueError):
+        check_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+    assert check_in_range("x", 1.5, 1.0, 2.0, inclusive=False) == 1.5
+
+
+def test_check_probability():
+    assert check_probability("p", 0.5) == 0.5
+    with pytest.raises(ValueError):
+        check_probability("p", 1.01)
+
+
+def test_check_type_single_and_tuple():
+    assert check_type("x", 3, int) == 3
+    assert check_type("x", 3.0, (int, float)) == 3.0
+    with pytest.raises(TypeError, match="int"):
+        check_type("x", "s", int)

@@ -1,0 +1,91 @@
+"""Tests for the frozen scenario definitions themselves."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    Figure5Scenario,
+    ModelsComparisonScenario,
+    Table1Scenario,
+    TraceFigureScenario,
+)
+
+
+def test_figure5_problem_matches_parameters():
+    sc = Figure5Scenario()
+    prob = sc.problem()
+    assert prob.n_components == sc.n_components
+    hard = prob.rates == sc.hard_rate
+    assert hard.sum() == pytest.approx(
+        sc.n_components * (sc.hard_region[1] - sc.hard_region[0]), abs=2
+    )
+    assert prob.active_threshold == pytest.approx(100 * sc.tolerance)
+
+
+def test_figure5_quick_and_tiny_are_smaller():
+    full, quick, tiny = (
+        Figure5Scenario(),
+        Figure5Scenario.quick(),
+        Figure5Scenario.tiny(),
+    )
+    assert tiny.n_components < quick.n_components < full.n_components
+    assert max(tiny.proc_counts) <= max(quick.proc_counts) < max(full.proc_counts)
+
+
+def test_figure5_platform_is_homogeneous():
+    sc = Figure5Scenario.quick()
+    plat = sc.platform(8)
+    assert len(plat) == 8
+    assert len({h.speed for h in plat.hosts}) == 1
+
+
+def test_table1_platform_matches_paper_shape():
+    sc = Table1Scenario()
+    plat = sc.platform()
+    assert len(plat) == 15
+    assert sorted(plat.sites) == ["belfort", "grenoble", "montbeliard"]
+    speeds = np.array([h.speed for h in plat.hosts])
+    # PII-400 .. Athlon-1.4G divided by the work-unit divisor.
+    assert speeds.min() >= 400.0 / sc.speed_divisor
+    assert speeds.max() <= 1400.0 / sc.speed_divisor
+    assert speeds.max() / speeds.min() > 1.5
+
+
+def test_table1_platform_deterministic_per_seed():
+    a = Table1Scenario().platform()
+    b = Table1Scenario().platform()
+    assert [h.speed for h in a.hosts] == [h.speed for h in b.hosts]
+    c = Table1Scenario(seed=7).platform()
+    assert [h.speed for h in a.hosts] != [h.speed for h in c.hosts]
+
+
+def test_table1_host_order_is_intersite():
+    sc = Table1Scenario()
+    plat = sc.platform()
+    order = sc.host_order(plat)
+    sites = [plat.hosts[i].site for i in order]
+    assert all(s1 != s2 for s1, s2 in zip(sites, sites[1:]))
+
+
+def test_table1_quick_is_smaller():
+    assert Table1Scenario.quick().n_points < Table1Scenario().n_points
+
+
+def test_models_comparison_grid_slower_than_cluster_links():
+    sc = ModelsComparisonScenario()
+    cluster = sc.cluster_platform()
+    grid = sc.grid_platform()
+    ha = grid.sites["a"][0]
+    hb = grid.sites["b"][0]
+    wan = grid.network.link_for(ha, hb)
+    lan = cluster.network.link_for(cluster.hosts[0], cluster.hosts[1])
+    assert wan.latency > 10 * lan.latency
+    assert wan.bandwidth < lan.bandwidth
+
+
+def test_trace_scenario_two_unequal_hosts():
+    sc = TraceFigureScenario()
+    plat = sc.platform()
+    assert len(plat) == 2
+    assert plat.hosts[0].speed != plat.hosts[1].speed
+    assert sc.solver_config().trace

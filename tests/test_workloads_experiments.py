@@ -1,0 +1,119 @@
+"""Integration tests for scenarios and the experiment harness.
+
+These run every experiment at reduced ('tiny'/'quick') size and assert
+the *shape* criteria from DESIGN.md §4 — the same criteria the full
+benchmarks check at paper scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_figure5,
+    run_models_comparison,
+    run_table1,
+    run_trace_figures,
+)
+from repro.experiments.ablations import (
+    compare_detection_protocols,
+    sweep_estimator,
+    sweep_lb_period,
+)
+from repro.workloads import (
+    Figure5Scenario,
+    ModelsComparisonScenario,
+    Table1Scenario,
+    TraceFigureScenario,
+)
+
+
+@pytest.fixture(scope="module")
+def figure5_tiny():
+    return run_figure5(Figure5Scenario.tiny())
+
+
+def test_figure5_lb_wins_everywhere(figure5_tiny):
+    for ratio in figure5_tiny.ratios:
+        assert ratio > 1.2
+
+
+def test_figure5_both_series_scale(figure5_tiny):
+    r = figure5_tiny
+    assert r.time_unbalanced == sorted(r.time_unbalanced, reverse=True)
+    assert r.time_balanced == sorted(r.time_balanced, reverse=True)
+
+
+def test_figure5_migrations_happen(figure5_tiny):
+    assert all(m > 0 for m in figure5_tiny.migrations)
+
+
+def test_figure5_report_mentions_paper_band(figure5_tiny):
+    report = figure5_tiny.report()
+    assert "6.8" in report
+    assert "ratio" in report
+
+
+def test_trace_figures_idle_ordering():
+    result = run_trace_figures(TraceFigureScenario())
+    idle = result.idle_fractions()
+    assert idle["figure3_aiac_eager"] == 0.0
+    assert idle["figure4_aiac_exclusive"] == 0.0
+    assert idle["figure2_siac"] > 0.0
+    assert idle["figure1_sisc"] >= idle["figure2_siac"] * 0.9
+
+
+def test_trace_figures_mutual_exclusion_sends_less():
+    result = run_trace_figures(TraceFigureScenario())
+    messages = result.halo_messages()
+    assert messages["figure4_aiac_exclusive"] < messages["figure3_aiac_eager"]
+
+
+def test_trace_figures_report_contains_gantt():
+    result = run_trace_figures(TraceFigureScenario())
+    report = result.report()
+    assert "█" in report
+    assert "Figure 1" in report and "Figure 4" in report
+
+
+def test_models_comparison_shape():
+    result = run_models_comparison(ModelsComparisonScenario())
+    # Cluster: the three models are close (paper: "almost the same").
+    assert result.advantage("cluster") < 1.3
+    # Grid: the asynchronous model wins clearly.
+    assert result.advantage("grid") > 1.3
+    assert result.advantage("grid") > result.advantage("cluster")
+    # SIAC sits between SISC and AIAC on the grid.
+    grid = result.grid
+    assert grid["aiac"].time <= grid["siac"].time <= grid["sisc"].time
+
+
+def test_table1_quick_shape():
+    result = run_table1(Table1Scenario.quick())
+    assert result.ratio > 1.3  # balanced wins on the heterogeneous grid
+    assert result.migrations > 0
+    assert sum(result.final_sizes) == Table1Scenario.quick().n_points
+    assert "Table 1" in result.report()
+
+
+def test_ablation_lb_period_sweep_runs():
+    result = sweep_lb_period(values=(5, 40), n_procs=4)
+    assert len(result.times) == 2
+    assert result.best() in (5, 40)
+    assert "period" in result.report()
+
+
+def test_ablation_estimator_sweep_runs():
+    result = sweep_estimator(values=("residual", "component_count"), n_procs=4)
+    assert len(result.times) == 2
+    # The residual estimator must beat the naive component count on an
+    # activity-imbalanced workload (the paper's §5.2 argument).
+    by_value = dict(zip(result.values, result.times))
+    assert by_value["residual"] < by_value["component_count"]
+
+
+def test_ablation_detection_protocols():
+    result = compare_detection_protocols(n_procs=4)
+    by_value = dict(zip(result.values, result.times))
+    # The decentralized protocol detects no earlier than the oracle.
+    assert by_value["token_ring"] >= by_value["oracle"] * 0.999
+    overhead = dict(zip(result.values, result.extra["overhead (s)"]))
+    assert overhead["token_ring"] >= 0.0
