@@ -5,19 +5,32 @@ monotonically increasing scheduling counter.  Ties in virtual time are
 therefore resolved in scheduling order, which makes every simulation run
 deterministic: there is no dependence on hash ordering, thread timing or
 allocation addresses.
+
+Hot-path design notes:
+
+* :class:`ScheduledEvent` is a plain ``__slots__`` class carrying a
+  ``(callback, args)`` pair, so schedulers never need to allocate a
+  closure just to bind arguments (see ``Simulator._schedule_resume``).
+* Heap entries stay ``(time, seq, event)`` tuples: tuple comparison runs
+  in C, which beats dispatching a Python ``__lt__`` per sift step.
+* Cancelled events are tombstones skipped lazily on pop — but the queue
+  counts them, reports only *live* events from ``len()``, and compacts
+  the heap in place once tombstones dominate, so a cancel-heavy workload
+  cannot grow the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 __all__ = ["ScheduledEvent", "EventQueue"]
 
+#: Compaction policy: rebuild the heap once more than this many
+#: tombstones accumulate *and* they outnumber live events.
+_COMPACT_MIN_CANCELLED = 64
 
-@dataclass(slots=True)
+
 class ScheduledEvent:
     """A callback scheduled at a point in virtual time.
 
@@ -28,52 +41,133 @@ class ScheduledEvent:
     seq:
         Scheduling sequence number; breaks ties among simultaneous events.
     callback:
-        Zero-argument callable invoked by the simulator; arguments are
-        bound at scheduling time (see :meth:`EventQueue.push`).
+        Callable invoked by the simulator as ``callback(*args)``.
+    args:
+        Arguments bound at scheduling time (avoids per-event closures).
     cancelled:
         Cancelled events stay in the heap but are skipped on pop.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], Any]
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._queue: "EventQueue | None" = None
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"ScheduledEvent(time={self.time!r}, seq={self.seq}{state})"
 
 
 class EventQueue:
     """Deterministic priority queue of :class:`ScheduledEvent`."""
 
+    __slots__ = ("_heap", "_count", "_n_cancelled")
+
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, ScheduledEvent]] = []
-        self._counter = itertools.count()
+        self._count = 0
+        self._n_cancelled = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Number of *live* (non-cancelled) events."""
+        return len(self._heap) - self._n_cancelled
 
     def push(self, time: float, callback: Callable[[], Any]) -> ScheduledEvent:
-        """Schedule ``callback`` at ``time`` and return its event record."""
-        event = ScheduledEvent(time=time, seq=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        """Schedule ``callback()`` at ``time`` and return its event record."""
+        return self.push_call(time, callback, ())
+
+    def push_call(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at ``time`` (no closure needed)."""
+        seq = self._count
+        self._count = seq + 1
+        event = ScheduledEvent(time, seq, callback, args)
+        event._queue = self
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def pop(self) -> ScheduledEvent | None:
         """Return the next non-cancelled event, or ``None`` if empty."""
-        while self._heap:
-            _, _, event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                event._queue = None  # cancel() after pop must not miscount
                 return event
+            self._n_cancelled -= 1
+        return None
+
+    def pop_at(self, time: float) -> ScheduledEvent | None:
+        """Pop the next event only if it fires at exactly ``time``.
+
+        The simulator's batched dispatch uses this to drain all
+        simultaneous events without re-checking its horizon per event;
+        events at later times are left queued and ``None`` is returned.
+        """
+        heap = self._heap
+        while heap:
+            if heap[0][0] != time:
+                return None
+            event = heapq.heappop(heap)[2]
+            if not event.cancelled:
+                event._queue = None
+                return event
+            self._n_cancelled -= 1
         return None
 
     def peek_time(self) -> float | None:
         """Return the time of the next non-cancelled event without popping."""
-        while self._heap:
-            _, _, event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                heapq.heappop(heap)
+                self._n_cancelled -= 1
                 continue
-            return event.time
+            return entry[0]
         return None
+
+    # ------------------------------------------------------------------
+    # Tombstone bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._n_cancelled += 1
+        n = self._n_cancelled
+        if n > _COMPACT_MIN_CANCELLED and 2 * n > len(self._heap):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop tombstones and re-heapify, in place.
+
+        Removing cancelled entries cannot change the pop order of the
+        survivors — the ``(time, seq)`` key is a total order — so this
+        is invisible to the simulation.  The list object is reused so
+        any alias held by a running event loop stays valid.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._n_cancelled = 0

@@ -17,7 +17,6 @@ within one step are atomic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -26,22 +25,51 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["Hold", "Wait", "Signal", "Process", "ProcessDied"]
 
 
-@dataclass(slots=True, frozen=True)
 class Hold:
-    """Command: advance this process by ``duration`` of virtual time."""
+    """Command: advance this process by ``duration`` of virtual time.
 
-    duration: float
+    Treat instances as immutable — one is allocated per yield on the
+    hottest path of every simulation, so this is a hand-rolled
+    ``__slots__`` class rather than a dataclass.
+    """
 
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise ValueError(f"Hold duration must be >= 0, got {self.duration!r}")
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"Hold duration must be >= 0, got {duration!r}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Hold(duration={self.duration!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Hold:
+            return self.duration == other.duration  # type: ignore[union-attr]
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Hold, self.duration))
 
 
-@dataclass(slots=True, frozen=True)
 class Wait:
     """Command: block until ``signal`` is triggered."""
 
-    signal: "Signal"
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: "Signal") -> None:
+        self.signal = signal
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Wait(signal={self.signal!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Wait:
+            return self.signal is other.signal  # type: ignore[union-attr]
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Wait, id(self.signal)))
 
 
 class Signal:
@@ -128,11 +156,18 @@ class Process:
             self.sim._process_failed(self, exc)
             return
 
+        # Hot path: exact-class checks and a direct queue push (the
+        # equivalent of Simulator._schedule_resume without the extra
+        # call) — this runs once per event in every simulation.
+        cls = command.__class__
+        sim = self.sim
         if command is None:
-            self.sim._schedule_resume(self, None)
-        elif isinstance(command, Hold):
-            self.sim._schedule_resume(self, None, delay=command.duration)
-        elif isinstance(command, Wait):
+            sim._queue.push_call(sim._now, self._step, (None,))
+        elif cls is Hold or isinstance(command, Hold):
+            sim._queue.push_call(
+                sim._now + command.duration, self._step, (None,)
+            )
+        elif cls is Wait or isinstance(command, Wait):
             command.signal._add_waiter(self)
         else:
             exc = TypeError(

@@ -95,7 +95,10 @@ class Simulator:
     def _schedule_resume(
         self, process: Process, value: Any, delay: float = 0.0
     ) -> None:
-        self._queue.push(self._now + delay, lambda: process._step(value))
+        # Fast path: bind the resume value as an event arg instead of
+        # allocating a closure per resume (this is the hottest schedule
+        # call in every AIAC run — one per Hold/Signal delivery).
+        self._queue.push_call(self._now + delay, process._step, (value,))
 
     def _process_failed(self, process: Process, exc: BaseException) -> None:
         if self._failure is None:
@@ -122,24 +125,34 @@ class Simulator:
             raise ValueError(f"until={until} is before now={self._now}")
         self._running = True
         self._stop_requested = False
+        queue = self._queue
+        peek_time = queue.peek_time
+        pop_at = queue.pop_at
         try:
-            while True:
-                if self._stop_requested:
-                    break
-                next_time = self._queue.peek_time()
+            while not self._stop_requested:
+                next_time = peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
                     self._now = until
                     break
-                event = self._queue.pop()
-                assert event is not None
-                self._now = event.time
-                try:
-                    event.callback()
-                except BaseException as exc:  # noqa: BLE001 - rewrapped below
-                    self._failure = (None, exc)
-                    break
+                self._now = next_time
+                # Batched dispatch: drain every event at this timestamp
+                # (still in scheduling order — pop_at preserves the
+                # (time, seq) total order) without re-checking the
+                # horizon per event.  stop() keeps its "stop after the
+                # current event" semantics via the inner check.
+                event = pop_at(next_time)
+                while event is not None:
+                    try:
+                        event.callback(*event.args)
+                    except BaseException as exc:  # noqa: BLE001 - rewrapped below
+                        self._failure = (None, exc)
+                        self._stop_requested = True
+                        break
+                    if self._stop_requested:
+                        break
+                    event = pop_at(next_time)
         finally:
             self._running = False
         if self._failure is not None:

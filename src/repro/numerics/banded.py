@@ -9,20 +9,44 @@ ordering has ``kl = ku = 2``).  This module provides:
 * an LU factorization **without pivoting** (valid for the strictly
   diagonally dominant systems implicit Euler produces; singular or
   near-singular pivots raise),
+* :class:`BandedLUCache` — a reuse layer so modified-Newton loops can
+  keep a factorization across iterations / time steps,
 * :func:`thomas_solve` — the tridiagonal specialisation.
+
+The factor/solve kernels are hybrid: narrow bands (the kl=ku=2 hot
+case) run a tuned scalar sweep on plain Python lists, where per-element
+arithmetic beats NumPy's per-op dispatch overhead; wide bands run a
+column-sweep vectorized elimination over pre-built strided views of the
+packed band array.  ``lu_factor_scalar``/``solve_scalar`` retain the
+original closure-based reference implementation as an oracle (and for
+the scalar-vs-native ratio in ``benchmarks/bench_kernels.py``).
 
 Tested against dense ``numpy.linalg.solve`` and ``scipy`` oracles.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Hashable
 
-__all__ = ["BandedMatrix", "solve_banded_system", "thomas_solve"]
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+__all__ = [
+    "BandedMatrix",
+    "BandedLU",
+    "BandedLUCache",
+    "solve_banded_system",
+    "thomas_solve",
+]
 
 #: Pivots smaller than this (relative to the largest diagonal entry)
 #: indicate the no-pivot factorization is untrustworthy.
 _PIVOT_RTOL = 1e-12
+
+#: Update blocks of at least this many elements (kl*ku) are eliminated
+#: with the vectorized column sweep; smaller blocks use the list kernel
+#: (NumPy per-op dispatch costs more than the arithmetic it replaces).
+_VECTOR_MIN_BLOCK = 16
 
 
 class BandedMatrix:
@@ -103,30 +127,48 @@ class BandedMatrix:
         return a
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Banded matrix-vector product."""
+        """Banded matrix-vector product (one vectorized op per diagonal)."""
         x = np.asarray(x, dtype=float)
         if x.shape != (self.n,):
             raise ValueError(f"x must have shape ({self.n},), got {x.shape}")
         y = np.zeros(self.n)
-        for offset in range(-self.kl, self.ku + 1):
-            row = self.ku - offset
-            length = self.n - abs(offset)
+        bands, kl, ku, n = self.bands, self.kl, self.ku, self.n
+        for offset in range(-kl, ku + 1):
+            row = ku - offset
+            length = n - abs(offset)
             if length <= 0:
                 continue
             if offset >= 0:
-                y[:length] += self.bands[row, offset : offset + length] * x[offset:]
+                y[:length] += bands[row, offset : offset + length] * x[offset:]
             else:
-                y[-offset:] += self.bands[row, :length] * x[:length]
+                y[-offset:] += bands[row, :length] * x[:length]
         return y
 
     # ------------------------------------------------------------------
-    # Factorization and solve (no pivoting)
+    # Factorization (no pivoting)
     # ------------------------------------------------------------------
     def lu_factor(self) -> "BandedLU":
         """LU factorization without pivoting.
 
         Valid for diagonally dominant matrices; raises
         :class:`numpy.linalg.LinAlgError` on a (near-)zero pivot.
+        Dispatches between a tuned scalar sweep (narrow bands) and a
+        vectorized column sweep (wide bands); both produce the same
+        packed factors as :meth:`lu_factor_scalar`.
+        """
+        kl, ku, n = self.kl, self.ku, self.n
+        scale = float(np.max(np.abs(self.bands[ku]))) or 1.0
+        if kl * ku >= _VECTOR_MIN_BLOCK:
+            lu = _lu_factor_vectorized(self.bands, kl, ku, n, scale)
+        else:
+            lu = _lu_factor_lists(self.bands, kl, ku, n, scale)
+        return BandedLU(lu, kl, ku)
+
+    def lu_factor_scalar(self) -> "BandedLU":
+        """Reference scalar factorization (the original implementation).
+
+        Kept as the oracle the vectorized paths are tested against and
+        as the baseline for the speedup ratio in ``bench_kernels.py``.
         """
         kl, ku, n = self.kl, self.ku, self.n
         # Work on a dense-band copy indexed [i, j] via band row ku+i-j.
@@ -159,6 +201,110 @@ class BandedMatrix:
         return BandedLU(lu, kl, ku)
 
 
+def _pivot_error(pivot: float, k: int) -> np.linalg.LinAlgError:
+    return np.linalg.LinAlgError(
+        f"near-zero pivot {pivot!r} at row {k}; "
+        "banded LU without pivoting requires diagonal dominance"
+    )
+
+
+def _lu_factor_lists(
+    bands: np.ndarray, kl: int, ku: int, n: int, scale: float
+) -> np.ndarray:
+    """Scalar elimination on plain Python lists (narrow-band fast path).
+
+    Bit-identical to :meth:`BandedMatrix.lu_factor_scalar`: per pivot
+    column, each multiplier is an individual division and each update a
+    single fused multiply-subtract in the same order.
+    """
+    tiny = _PIVOT_RTOL * scale
+    rows = bands.tolist()
+    dr = rows[ku]
+    for k in range(n - 1):
+        pivot = dr[k]
+        if -tiny <= pivot <= tiny:
+            raise _pivot_error(pivot, k)
+        rem = n - 1 - k
+        li = kl if kl <= rem else rem
+        lj = ku if ku <= rem else rem
+        if li == 0:
+            continue
+        factors = []
+        for di in range(1, li + 1):
+            row = rows[ku + di]
+            fac = row[k] / pivot
+            row[k] = fac  # store L below the diagonal
+            factors.append(fac)
+        for dj in range(1, lj + 1):
+            g = rows[ku - dj][k + dj]
+            if g != 0.0:
+                col = k + dj
+                for di in range(1, li + 1):
+                    rows[ku + di - dj][col] -= factors[di - 1] * g
+    pivot = dr[n - 1]
+    if -tiny <= pivot <= tiny:
+        raise np.linalg.LinAlgError("near-zero final pivot")
+    return np.array(rows, dtype=float)
+
+
+def _lu_factor_vectorized(
+    bands: np.ndarray, kl: int, ku: int, n: int, scale: float
+) -> np.ndarray:
+    """Column-sweep elimination with pre-built strided block views.
+
+    For pivot ``k`` the update touches the ``kl x ku`` block
+    ``A[k+1:k+1+kl, k+1:k+1+ku]``; in band storage that block is a
+    *sheared* view reachable with strides ``(s0, s1 - s0)`` from
+    ``lu[ku, k+1]``.  All per-pivot views over the in-range "bulk"
+    region are materialised once as 3-D/2-D strided arrays so the inner
+    loop is two NumPy ops; the boundary tail falls back to clamped
+    slices.
+    """
+    tiny = _PIVOT_RTOL * scale
+    lu = bands.copy()
+    diag = lu[ku]
+    # Pivots k < bulk have their full kl x ku update block in range.
+    bulk = n - 1 - max(kl, ku)
+    if bulk < 0 or kl == 0 or ku == 0:
+        bulk = 0
+    if bulk:
+        s0, s1 = lu.strides
+        cols = as_strided(lu[ku + 1 :, :], shape=(bulk, kl), strides=(s1, s0))
+        urows = as_strided(
+            lu[ku - 1 :, 1:], shape=(bulk, ku), strides=(s1, s1 - s0)
+        )
+        blocks = as_strided(
+            lu[ku:, 1:], shape=(bulk, kl, ku), strides=(s1, s0, s1 - s0)
+        )
+        for k in range(bulk):
+            pivot = diag[k]
+            if -tiny <= pivot <= tiny:
+                raise _pivot_error(float(pivot), k)
+            col = cols[k]
+            col /= pivot  # multipliers, stored in place of L's column
+            blocks[k] -= col[:, None] * urows[k]
+    # Boundary tail (and the kl==0 / ku==0 shapes): clamped slices.
+    for k in range(bulk, n - 1):
+        pivot = diag[k]
+        if -tiny <= pivot <= tiny:
+            raise _pivot_error(float(pivot), k)
+        rem = n - 1 - k
+        li = kl if kl <= rem else rem
+        lj = ku if ku <= rem else rem
+        if li == 0:
+            continue
+        col = lu[ku + 1 : ku + 1 + li, k]
+        col /= pivot
+        for d in range(1, lj + 1):
+            g = lu[ku - d, k + d]
+            if g != 0.0:
+                lu[ku + 1 - d : ku + 1 + li - d, k + d] -= col * g
+    pivot = diag[n - 1]
+    if -tiny <= pivot <= tiny:
+        raise np.linalg.LinAlgError("near-zero final pivot")
+    return lu
+
+
 class BandedLU:
     """The packed LU factors produced by :meth:`BandedMatrix.lu_factor`."""
 
@@ -169,7 +315,61 @@ class BandedLU:
         self.n = lu.shape[1]
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` using the stored factors."""
+        """Solve ``A x = b`` using the stored factors.
+
+        Narrow bands use a scalar sweep on lists (bit-identical to
+        :meth:`solve_scalar`); wide bands use vectorized column sweeps.
+        """
+        b = np.asarray(b, dtype=float)
+        if b.shape != (self.n,):
+            raise ValueError(f"b must have shape ({self.n},), got {b.shape}")
+        if self.kl + self.ku >= 8:
+            return self._solve_colsweep(b)
+        return self._solve_lists(b)
+
+    def _solve_lists(self, b: np.ndarray) -> np.ndarray:
+        kl, ku, n = self.kl, self.ku, self.n
+        rows = self._lu.tolist()
+        dr = rows[ku]
+        x = b.tolist()
+        # Forward substitution with unit-diagonal L.
+        for i in range(n):
+            j_lo = i - kl if i > kl else 0
+            s = x[i]
+            for j in range(j_lo, i):
+                s -= rows[ku + i - j][j] * x[j]
+            x[i] = s
+        # Backward substitution with U.
+        for i in range(n - 1, -1, -1):
+            j_hi = i + ku if i + ku < n else n - 1
+            s = x[i]
+            for j in range(i + 1, j_hi + 1):
+                s -= rows[ku + i - j][j] * x[j]
+            x[i] = s / dr[i]
+        return np.array(x, dtype=float)
+
+    def _solve_colsweep(self, b: np.ndarray) -> np.ndarray:
+        kl, ku, n, lu = self.kl, self.ku, self.n, self._lu
+        x = b.copy()
+        # Forward: as each x[j] is finalised, push it into the rows below.
+        for j in range(n - 1):
+            lj = kl if kl <= n - 1 - j else n - 1 - j
+            if lj:
+                xj = x[j]
+                if xj != 0.0:
+                    x[j + 1 : j + 1 + lj] -= lu[ku + 1 : ku + 1 + lj, j] * xj
+        # Backward: divide, then push the finalised x[j] upward.
+        diag = lu[ku]
+        for j in range(n - 1, -1, -1):
+            xj = x[j] / diag[j]
+            x[j] = xj
+            uj = ku if ku <= j else j
+            if uj and xj != 0.0:
+                x[j - uj : j] -= lu[ku - uj : ku, j] * xj
+        return x
+
+    def solve_scalar(self, b: np.ndarray) -> np.ndarray:
+        """Reference scalar solve (the original implementation)."""
         b = np.asarray(b, dtype=float)
         if b.shape != (self.n,):
             raise ValueError(f"b must have shape ({self.n},), got {b.shape}")
@@ -187,6 +387,58 @@ class BandedLU:
                 x[i] -= lu[ku + i - j, j] * x[j]
             x[i] /= lu[ku, i]
         return x
+
+
+class BandedLUCache:
+    """Reuse a :class:`BandedLU` across Newton iterations / time steps.
+
+    A modified-Newton (frozen-Jacobian) loop factors the iteration
+    matrix once and reuses it while the step size is unchanged,
+    refreshing after ``max_uses`` solves.  ``max_uses=1`` degenerates to
+    factoring every iteration (exact Newton, the default everywhere).
+
+    Usage::
+
+        cache = BandedLUCache(max_uses=refresh)
+        lu = cache.get(dt) or cache.put(dt, matrix.lu_factor())
+    """
+
+    __slots__ = ("max_uses", "hits", "misses", "_key", "_lu", "_uses")
+
+    def __init__(self, max_uses: int | None = None) -> None:
+        if max_uses is not None and max_uses < 1:
+            raise ValueError(f"max_uses must be >= 1, got {max_uses}")
+        self.max_uses = max_uses
+        self.hits = 0
+        self.misses = 0
+        self._key: Hashable = None
+        self._lu: BandedLU | None = None
+        self._uses = 0
+
+    def get(self, key: Hashable) -> BandedLU | None:
+        """Return the cached LU for ``key``, or ``None`` if stale."""
+        if (
+            self._lu is None
+            or key != self._key
+            or (self.max_uses is not None and self._uses >= self.max_uses)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._uses += 1
+        return self._lu
+
+    def put(self, key: Hashable, lu: BandedLU) -> BandedLU:
+        """Cache ``lu`` under ``key`` (counts as its first use)."""
+        self._key = key
+        self._lu = lu
+        self._uses = 1
+        return lu
+
+    def invalidate(self) -> None:
+        self._lu = None
+        self._key = None
+        self._uses = 0
 
 
 def solve_banded_system(
@@ -217,7 +469,9 @@ def thomas_solve(
 
     ``lower[i]`` multiplies ``x[i-1]`` in row ``i`` (``lower[0]``
     ignored); ``upper[i]`` multiplies ``x[i+1]`` (``upper[-1]`` ignored).
-    Requires diagonal dominance.
+    Requires diagonal dominance.  The recurrence is inherently serial,
+    so it runs on plain Python floats (same arithmetic, same order —
+    results are bit-identical to the original NumPy-indexed loop).
     """
     diag = np.asarray(diag, dtype=float)
     n = diag.shape[0]
@@ -226,21 +480,26 @@ def thomas_solve(
     b = np.asarray(b, dtype=float)
     if not (lower.shape == upper.shape == b.shape == (n,)):
         raise ValueError("all inputs must be 1-D arrays of equal length")
-    c_prime = np.empty(n)
-    d_prime = np.empty(n)
-    scale = np.max(np.abs(diag)) or 1.0
-    if abs(diag[0]) <= _PIVOT_RTOL * scale:
+    scale = float(np.max(np.abs(diag))) or 1.0
+    tiny = _PIVOT_RTOL * scale
+    lo = lower.tolist()
+    di = diag.tolist()
+    up = upper.tolist()
+    rhs = b.tolist()
+    if -tiny <= di[0] <= tiny:
         raise np.linalg.LinAlgError("near-zero pivot at row 0")
-    c_prime[0] = upper[0] / diag[0]
-    d_prime[0] = b[0] / diag[0]
+    c_prime = [0.0] * n
+    d_prime = [0.0] * n
+    c_prime[0] = up[0] / di[0]
+    d_prime[0] = rhs[0] / di[0]
     for i in range(1, n):
-        denom = diag[i] - lower[i] * c_prime[i - 1]
-        if abs(denom) <= _PIVOT_RTOL * scale:
+        denom = di[i] - lo[i] * c_prime[i - 1]
+        if -tiny <= denom <= tiny:
             raise np.linalg.LinAlgError(f"near-zero pivot at row {i}")
-        c_prime[i] = upper[i] / denom
-        d_prime[i] = (b[i] - lower[i] * d_prime[i - 1]) / denom
-    x = np.empty(n)
+        c_prime[i] = up[i] / denom
+        d_prime[i] = (rhs[i] - lo[i] * d_prime[i - 1]) / denom
+    x = [0.0] * n
     x[-1] = d_prime[-1]
     for i in range(n - 2, -1, -1):
         x[i] = d_prime[i] - c_prime[i] * x[i + 1]
-    return x
+    return np.array(x, dtype=float)

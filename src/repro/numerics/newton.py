@@ -13,6 +13,20 @@ The per-component counts are the heart of the reproduction's cost model:
 a component whose trajectory has converged verifies in one iteration,
 an active one takes several, making the per-sweep cost proportional to
 how much of the local subdomain is still evolving.
+
+Two optimisations keep the kernel cheap without changing any observable
+output (values, iteration counts and convergence flags are bit-identical
+to the straightforward masked loop):
+
+* bookkeeping runs on integer counters instead of repeated ``.any()``
+  mask reductions, exploiting the invariant that every still-active
+  component has stepped in every previous pass;
+* when the caller opts in (``options.compact_threshold`` set *and* the
+  callback advertises ``f.newton_compactable = True``), the active set
+  is compacted (gather/scatter) once it falls below the threshold
+  fraction, so converged components stop paying full-batch residual
+  evaluations.  Compactable callbacks accept ``f(u, v, idx)`` where
+  ``idx`` holds the original batch indices of the compacted components.
 """
 
 from __future__ import annotations
@@ -25,6 +39,8 @@ import numpy as np
 __all__ = ["NewtonOptions", "NewtonResult", "newton_batched_2x2"]
 
 #: f(u, v) -> (F1, F2, J11, J12, J21, J22), all arrays of u's shape.
+#: Compaction-aware callbacks (``f.newton_compactable = True``) are
+#: additionally called as ``f(u, v, idx)`` on the gathered active set.
 Residual2x2 = Callable[
     [np.ndarray, np.ndarray],
     tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
@@ -43,11 +59,26 @@ class NewtonOptions:
         Hard cap; exceeding it marks the component as not converged.
     damping:
         Step multiplier in ``(0, 1]`` (1 = full Newton).
+    compact_threshold:
+        If set (fraction in ``(0, 1]``), compact the active set once the
+        active fraction drops below it — only honoured for callbacks
+        that declare ``newton_compactable = True``.  ``None`` (default)
+        keeps the original always-full-batch contract.
+    jacobian_refresh:
+        Refresh period for *modified-Newton* consumers that freeze a
+        factored Jacobian between iterations (see
+        ``repro.numerics.euler.implicit_euler_banded`` and
+        :class:`repro.numerics.banded.BandedLUCache`).  ``1`` (default)
+        means an exact Newton iteration matrix every iteration; ``k``
+        reuses each factorization for ``k`` iterations.  The batched
+        2x2 kernel itself always uses the analytic per-pass Jacobian.
     """
 
     tol: float = 1e-10
     max_iter: int = 25
     damping: float = 1.0
+    compact_threshold: float | None = None
+    jacobian_refresh: int = 1
 
     def __post_init__(self) -> None:
         if not self.tol > 0:
@@ -56,6 +87,14 @@ class NewtonOptions:
             raise ValueError(f"max_iter must be >= 1, got {self.max_iter!r}")
         if not 0 < self.damping <= 1:
             raise ValueError(f"damping must be in (0, 1], got {self.damping!r}")
+        if self.compact_threshold is not None and not 0 < self.compact_threshold <= 1:
+            raise ValueError(
+                f"compact_threshold must be in (0, 1], got {self.compact_threshold!r}"
+            )
+        if self.jacobian_refresh < 1:
+            raise ValueError(
+                f"jacobian_refresh must be >= 1, got {self.jacobian_refresh!r}"
+            )
 
 
 @dataclass(slots=True)
@@ -90,19 +129,24 @@ def newton_batched_2x2(
     f: Residual2x2,
     u0: np.ndarray,
     v0: np.ndarray,
-    options: NewtonOptions = NewtonOptions(),
+    options: NewtonOptions | None = None,
 ) -> NewtonResult:
     """Solve a batch of independent 2x2 systems ``F(u_j, v_j) = 0``.
 
     Parameters
     ----------
     f:
-        Vectorised residual+Jacobian callback.  It is always called on
-        the *full* batch (converged components included) — the active
-        mask only controls which components get updated and charged
-        work, keeping the callback free of gather/scatter logic.
+        Vectorised residual+Jacobian callback.  By default it is always
+        called on the *full* batch as ``f(u, v)`` (converged components
+        included) — the active mask only controls which components get
+        updated and charged work.  Callbacks that set
+        ``f.newton_compactable = True`` are additionally called as
+        ``f(u, v, idx)`` on the gathered active subset once compaction
+        kicks in (see :class:`NewtonOptions.compact_threshold`).
     u0, v0:
         Initial guesses (not modified).
+    options:
+        Solver configuration; ``None`` means ``NewtonOptions()``.
 
     Notes
     -----
@@ -110,7 +154,15 @@ def newton_batched_2x2(
     ``J⁻¹ = adj(J)/det(J)``.  Singular Jacobians (``|det|`` below 1e-300)
     mark the component failed rather than raising, so one pathological
     component cannot abort a whole sweep; callers inspect ``converged``.
+
+    Invariant exploited throughout: every still-active component has
+    stepped in every previous pass, so on pass ``p`` each active
+    component's iteration count is exactly ``p``.  Counts are therefore
+    *assigned* (``p`` at exit, ``max_iter`` at budget exhaustion)
+    instead of incremented per pass — same numbers, fewer array ops.
     """
+    if options is None:
+        options = NewtonOptions()
     u = np.array(u0, dtype=float, copy=True)
     v = np.array(v0, dtype=float, copy=True)
     if u.shape != v.shape:
@@ -118,38 +170,145 @@ def newton_batched_2x2(
     n = u.shape[0]
     iterations = np.zeros(n, dtype=np.int64)
     converged = np.zeros(n, dtype=bool)
-    active = np.ones(n, dtype=bool)
+
+    tol = options.tol
+    max_iter = options.max_iter
+    damping = options.damping
+    threshold = options.compact_threshold
+    compactable = (
+        threshold is not None and n > 0 and getattr(f, "newton_compactable", False)
+    )
+
+    n_active = n
+    active: np.ndarray | None = None  # full-batch mask, created on first exit
+    idx: np.ndarray | None = None  # global indices once compacted
+    uw = u
+    vw = v
 
     # Single f evaluation per loop pass: the residual computed here both
     # finishes the previous step's convergence test and feeds this
-    # step's Newton update.  One extra pass (max_iter + 1) lets the last
+    # pass's Newton update.  One extra pass (max_iter + 1) lets the last
     # permitted step still be verified.
-    for _ in range(options.max_iter + 1):
-        if not active.any():
+    for p in range(max_iter + 1):
+        if n_active == 0:
             break
-        f1, f2, j11, j12, j21, j22 = f(u, v)
-        newly = active & (np.maximum(np.abs(f1), np.abs(f2)) <= options.tol)
-        converged |= newly
-        active &= ~newly
-        if not active.any():
-            break
-        stepping = active & (iterations < options.max_iter)
-        if not stepping.any():
-            break  # remaining actives exhausted their budget: unconverged
-        det = j11 * j22 - j12 * j21
-        singular = np.abs(det) < 1e-300
-        ok = stepping & ~singular
-        det_safe = np.where(singular, 1.0, det)
-        du = (j22 * f1 - j12 * f2) / det_safe
-        dv = (j11 * f2 - j21 * f1) / det_safe
-        u = np.where(ok, u - options.damping * du, u)
-        v = np.where(ok, v - options.damping * dv, v)
-        iterations[ok] += 1
-        # Components with singular Jacobians stop iterating, unconverged.
-        active &= ~singular
+        if (
+            compactable
+            and idx is None
+            and n_active < n
+            and n_active <= threshold * n
+        ):
+            idx = np.flatnonzero(active)
+            uw = u[idx]
+            vw = v[idx]
+
+        if idx is None:
+            # ---------------- full-batch mode ----------------
+            f1, f2, j11, j12, j21, j22 = f(u, v)
+            res_ok = np.maximum(np.abs(f1), np.abs(f2)) <= tol
+            newly = res_ok if active is None else (res_ok & active)
+            c = int(np.count_nonzero(newly))
+            if c:
+                converged |= newly
+                iterations[newly] = p
+                n_active -= c
+                if n_active == 0:
+                    break
+                if active is None:
+                    active = ~newly
+                else:
+                    active &= ~newly
+            if p == max_iter:
+                break
+            det = j11 * j22 - j12 * j21
+            singular = np.abs(det) < 1e-300
+            n_sing = int(np.count_nonzero(singular))
+            if n_sing:
+                if active is None:
+                    active = np.ones(n, dtype=bool)
+                sing_active = singular & active
+                cs = int(np.count_nonzero(sing_active))
+                if cs:
+                    iterations[sing_active] = p
+                    active &= ~singular
+                    n_active -= cs
+                    if n_active == 0:
+                        break
+                det = np.where(singular, 1.0, det)
+            du = (j22 * f1 - j12 * f2) / det
+            dv = (j11 * f2 - j21 * f1) / det
+            if active is None:
+                u -= damping * du
+                v -= damping * dv
+            else:
+                u = np.where(active, u - damping * du, u)
+                v = np.where(active, v - damping * dv, v)
+        else:
+            # ---------------- compacted mode ----------------
+            f1, f2, j11, j12, j21, j22 = f(uw, vw, idx)
+            res_ok = np.maximum(np.abs(f1), np.abs(f2)) <= tol
+            c = int(np.count_nonzero(res_ok))
+            if c:
+                done = idx[res_ok]
+                converged[done] = True
+                iterations[done] = p
+                u[done] = uw[res_ok]
+                v[done] = vw[res_ok]
+                n_active -= c
+                if n_active == 0:
+                    break
+                keep = ~res_ok
+                idx = idx[keep]
+                uw = uw[keep]
+                vw = vw[keep]
+                f1 = f1[keep]
+                f2 = f2[keep]
+                j11 = j11[keep]
+                j12 = j12[keep]
+                j21 = j21[keep]
+                j22 = j22[keep]
+            if p == max_iter:
+                break
+            det = j11 * j22 - j12 * j21
+            singular = np.abs(det) < 1e-300
+            n_sing = int(np.count_nonzero(singular))
+            if n_sing:
+                sing_idx = idx[singular]
+                iterations[sing_idx] = p
+                u[sing_idx] = uw[singular]
+                v[sing_idx] = vw[singular]
+                n_active -= n_sing
+                if n_active == 0:
+                    idx = None  # values already scattered back
+                    break
+                keep = ~singular
+                idx = idx[keep]
+                uw = uw[keep]
+                vw = vw[keep]
+                f1 = f1[keep]
+                f2 = f2[keep]
+                j11 = j11[keep]
+                j12 = j12[keep]
+                j21 = j21[keep]
+                j22 = j22[keep]
+                det = det[keep]
+            uw = uw - damping * ((j22 * f1 - j12 * f2) / det)
+            vw = vw - damping * ((j11 * f2 - j21 * f1) / det)
+
+    if n_active:
+        # Loop ended with the budget exhausted: survivors stepped in all
+        # max_iter passes.  Scatter compacted values back if needed.
+        if idx is not None:
+            iterations[idx] = max_iter
+            u[idx] = uw
+            v[idx] = vw
+        elif active is not None:
+            iterations[active] = max_iter
+        else:
+            iterations[:] = max_iter
 
     # Every component is charged at least one work unit per sweep: even a
     # converged component had its residual evaluated (the "verification"
     # cost that keeps converged regions cheap but not free).
-    iterations = np.maximum(iterations, 1)
+    np.maximum(iterations, 1, out=iterations)
     return NewtonResult(u=u, v=v, iterations=iterations, converged=converged)

@@ -61,6 +61,11 @@ __all__ = ["BrusselatorProblem", "BrusselatorState"]
 U_BOUNDARY = 1.0
 V_BOUNDARY = 3.0
 
+#: Blocks of at most this many components run the scalar Newton tail in
+#: :meth:`BrusselatorProblem._sweep_tail_scalar` (Python floats beat
+#: NumPy dispatch on tiny batches; both paths are bit-identical).
+_SCALAR_SWEEP_MAX = 24
+
 
 @dataclass(slots=True)
 class BrusselatorState:
@@ -135,7 +140,12 @@ class BrusselatorProblem(Problem):
         self.dt = self.t_end / self.n_steps
         self.alpha = float(alpha)
         self.c = self.alpha * (self.n_components + 1) ** 2
-        self.newton = NewtonOptions(tol=newton_tol, max_iter=newton_max_iter)
+        # compact_threshold lets the batched Newton drop to the gathered
+        # active subset once half the components have converged — the
+        # iterate() callback below is compaction-aware (accepts idx).
+        self.newton = NewtonOptions(
+            tol=newton_tol, max_iter=newton_max_iter, compact_threshold=0.5
+        )
         self.skip_converged = bool(skip_converged)
         self.skip_threshold = float(skip_threshold)
         if self.skip_threshold <= 0:
@@ -251,9 +261,11 @@ class BrusselatorProblem(Problem):
         n = state.n
         steps = self.n_steps
         dt, c = self.dt, self.c
+        tol = self.newton.tol
 
         skip = self._skip_mask(state, left_halo, right_halo)
         active = np.flatnonzero(~skip)
+        m = active.size
 
         # Lagged neighbour trajectories: u/v of components j-1 and j+1.
         u_left = np.vstack([left_halo[0][None, :], old[:-1, 0, :]])
@@ -264,44 +276,107 @@ class BrusselatorProblem(Problem):
         new = old.copy()  # skipped components keep their trajectories
         # A skipped component still pays the skip test (one unit/sweep).
         work = np.ones(n)
-        if active.size:
+        if m:
             work[active] = 0.0
 
-        for k in range(1, steps + 1):
-            if active.size == 0:
-                break
-            u_prev = new[active, 0, k - 1]
-            v_prev = new[active, 1, k - 1]
-            ul, ur = u_left[active, k], u_right[active, k]
-            vl, vr = v_left[active, k], v_right[active, k]
+            # ---- Stage 1: optimistic batched verification ------------
+            # A (component, step) pair whose old trajectory value already
+            # satisfies the Newton residual test would converge in the
+            # verification pass with its value unchanged — *provided* the
+            # component's own previous steps are also unchanged (the
+            # neighbour inputs are frozen at `old` for the whole sweep,
+            # so only the component's own u_prev can differ).  One
+            # vectorized residual evaluation over every (component, step)
+            # finds, per component, the leading run of verified steps;
+            # those charge one work unit each, exactly like the
+            # sequential per-step Newton would, and keep `new == old`.
+            # The arithmetic below mirrors `f` term for term, so the
+            # verification decision is bit-identical to the sequential
+            # pass-0 convergence test.
+            sel = slice(None) if m == n else active
+            U = old[sel, 0, :]
+            V = old[sel, 1, :]
+            Uk = U[:, 1:]
+            Vk = V[:, 1:]
+            u_sq = Uk * Uk
+            reaction_u = 1.0 + u_sq * Vk - 4.0 * Uk
+            reaction_v = 3.0 * Uk - u_sq * Vk
+            diff_u = c * (u_left[sel, 1:] - 2.0 * Uk + u_right[sel, 1:])
+            diff_v = c * (v_left[sel, 1:] - 2.0 * Vk + v_right[sel, 1:])
+            f1 = Uk - U[:, :-1] - dt * (reaction_u + diff_u)
+            f2 = Vk - V[:, :-1] - dt * (reaction_v + diff_v)
+            ok = np.maximum(np.abs(f1), np.abs(f2)) <= tol  # (m, steps)
+            # verified[j] = number of leading steps of component j whose
+            # old values pass the residual test (step k is ok[:, k-1]).
+            verified = np.where(ok.all(axis=1), steps, np.argmin(ok, axis=1))
+            work[active] += verified
 
-            def f(u: np.ndarray, v: np.ndarray):
-                u_sq = u * u
-                reaction_u = 1.0 + u_sq * v - 4.0 * u
-                reaction_v = 3.0 * u - u_sq * v
-                diff_u = c * (ul - 2.0 * u + ur)
-                diff_v = c * (vl - 2.0 * v + vr)
-                f1 = u - u_prev - dt * (reaction_u + diff_u)
-                f2 = v - v_prev - dt * (reaction_v + diff_v)
-                j11 = 1.0 - dt * (2.0 * u * v - 4.0 - 2.0 * c)
-                j12 = -dt * u_sq
-                j21 = -dt * (3.0 - 2.0 * u * v)
-                j22 = 1.0 + dt * (u_sq + 2.0 * c)
-                return f1, f2, j11, j12, j21, j22
-
-            result = newton_batched_2x2(
-                f, old[active, 0, k], old[active, 1, k], self.newton
-            )
-            if not result.all_converged:
-                bad = int(np.count_nonzero(~result.converged))
-                raise RuntimeError(
-                    f"brusselator Newton failed on {bad} component(s) at "
-                    f"step {k} (block starting at {state.lo}); "
-                    "reduce dt or raise newton_max_iter"
+            # ---- Stage 2: per-step Newton for the unverified tail ----
+            # Component j needs the sequential treatment from step
+            # verified[j] + 1 onward (once its own trajectory changed,
+            # u_prev comes from `new`, not `old`).  The participant set
+            # grows monotonically with k.  Small blocks (the common case
+            # after domain decomposition) take a scalar path where
+            # Python-float arithmetic beats NumPy's per-op dispatch on
+            # length-few arrays; both paths produce identical bits.
+            k_start = int(verified.min()) + 1
+            if k_start <= steps and m <= _SCALAR_SWEEP_MAX:
+                self._sweep_tail_scalar(
+                    new, work, old, u_left, v_left, u_right, v_right,
+                    active, verified, state.lo,
                 )
-            new[active, 0, k] = result.u
-            new[active, 1, k] = result.v
-            work[active] += result.iterations
+                k_start = steps + 1  # tail fully handled
+            for k in range(k_start, steps + 1):
+                part = np.flatnonzero(verified < k)
+                rows = part if m == n else active[part]
+                u_prev = new[rows, 0, k - 1]
+                v_prev = new[rows, 1, k - 1]
+                ul, ur = u_left[rows, k], u_right[rows, k]
+                vl, vr = v_left[rows, k], v_right[rows, k]
+
+                def f(
+                    u: np.ndarray,
+                    v: np.ndarray,
+                    idx: np.ndarray | None = None,
+                    up=u_prev,
+                    vp=v_prev,
+                    ul=ul,
+                    ur=ur,
+                    vl=vl,
+                    vr=vr,
+                ):
+                    if idx is not None:
+                        up, vp = up[idx], vp[idx]
+                        ul, ur = ul[idx], ur[idx]
+                        vl, vr = vl[idx], vr[idx]
+                    u_sq = u * u
+                    reaction_u = 1.0 + u_sq * v - 4.0 * u
+                    reaction_v = 3.0 * u - u_sq * v
+                    diff_u = c * (ul - 2.0 * u + ur)
+                    diff_v = c * (vl - 2.0 * v + vr)
+                    f1 = u - up - dt * (reaction_u + diff_u)
+                    f2 = v - vp - dt * (reaction_v + diff_v)
+                    j11 = 1.0 - dt * (2.0 * u * v - 4.0 - 2.0 * c)
+                    j12 = -dt * u_sq
+                    j21 = -dt * (3.0 - 2.0 * u * v)
+                    j22 = 1.0 + dt * (u_sq + 2.0 * c)
+                    return f1, f2, j11, j12, j21, j22
+
+                f.newton_compactable = True
+
+                result = newton_batched_2x2(
+                    f, old[rows, 0, k], old[rows, 1, k], self.newton
+                )
+                if not result.all_converged:
+                    bad = int(np.count_nonzero(~result.converged))
+                    raise RuntimeError(
+                        f"brusselator Newton failed on {bad} component(s) at "
+                        f"step {k} (block starting at {state.lo}); "
+                        "reduce dt or raise newton_max_iter"
+                    )
+                new[rows, 0, k] = result.u
+                new[rows, 1, k] = result.v
+                work[rows] += result.iterations
 
         residuals = np.max(np.abs(new - old), axis=(1, 2))
         if skip.any() and state.prev_res is not None:
@@ -319,6 +394,108 @@ class BrusselatorProblem(Problem):
             state.last_left_halo = np.array(left_halo, copy=True)
             state.last_right_halo = np.array(right_halo, copy=True)
         return IterationResult(residuals=residuals, work=work)
+
+    def _sweep_tail_scalar(
+        self,
+        new: np.ndarray,
+        work: np.ndarray,
+        old: np.ndarray,
+        u_left: np.ndarray,
+        v_left: np.ndarray,
+        u_right: np.ndarray,
+        v_right: np.ndarray,
+        active: np.ndarray,
+        verified: np.ndarray,
+        lo: int,
+    ) -> None:
+        """Scalar Newton over the unverified (component, step) tail.
+
+        Same arithmetic, same expression order and same iteration /
+        convergence bookkeeping as the batched
+        :func:`~repro.numerics.newton.newton_batched_2x2` path — Python
+        floats and NumPy float64 share IEEE-754 double semantics, so the
+        results (values *and* work counts) are bit-identical.  The win
+        is purely dispatch overhead: a 2x2 Newton step is ~30 flops,
+        which NumPy cannot amortise on length-3 arrays.
+        """
+        steps = self.n_steps
+        dt, c = self.dt, self.c
+        opts = self.newton
+        tol, max_iter, damping = opts.tol, opts.max_iter, opts.damping
+        two_c = 2.0 * c
+
+        ver = verified.tolist()
+        rows = active.tolist()
+        u_traj = old[active, 0, :].tolist()
+        v_traj = old[active, 1, :].tolist()
+        ul_traj = u_left[active].tolist()
+        ur_traj = u_right[active].tolist()
+        vl_traj = v_left[active].tolist()
+        vr_traj = v_right[active].tolist()
+
+        failures: dict[int, int] = {}  # step -> failed component count
+        for pos, start in enumerate(ver):
+            if start >= steps:
+                continue
+            uu = u_traj[pos]
+            vv = v_traj[pos]
+            ult = ul_traj[pos]
+            urt = ur_traj[pos]
+            vlt = vl_traj[pos]
+            vrt = vr_traj[pos]
+            w_add = 0.0
+            for k in range(start + 1, steps + 1):
+                up = uu[k - 1]
+                vp = vv[k - 1]
+                ul = ult[k]
+                ur = urt[k]
+                vl = vlt[k]
+                vr = vrt[k]
+                u = uu[k]  # initial guess: previous sweep's value
+                v = vv[k]
+                its = 0
+                conv = False
+                for p in range(max_iter + 1):
+                    u_sq = u * u
+                    reaction_u = 1.0 + u_sq * v - 4.0 * u
+                    reaction_v = 3.0 * u - u_sq * v
+                    diff_u = c * (ul - 2.0 * u + ur)
+                    diff_v = c * (vl - 2.0 * v + vr)
+                    f1 = u - up - dt * (reaction_u + diff_u)
+                    f2 = v - vp - dt * (reaction_v + diff_v)
+                    if abs(f1) <= tol and abs(f2) <= tol:
+                        conv = True
+                        its = p
+                        break
+                    if p == max_iter:
+                        its = max_iter
+                        break
+                    j11 = 1.0 - dt * (2.0 * u * v - 4.0 - two_c)
+                    j12 = -dt * u_sq
+                    j21 = -dt * (3.0 - 2.0 * u * v)
+                    j22 = 1.0 + dt * (u_sq + two_c)
+                    det = j11 * j22 - j12 * j21
+                    if -1e-300 < det < 1e-300:
+                        its = p  # singular Jacobian: stop, unconverged
+                        break
+                    u = u - damping * ((j22 * f1 - j12 * f2) / det)
+                    v = v - damping * ((j11 * f2 - j21 * f1) / det)
+                uu[k] = u
+                vv[k] = v
+                w_add += its if its > 1 else 1
+                if not conv:
+                    failures[k] = failures.get(k, 0) + 1
+            j = rows[pos]
+            new[j, 0, start + 1 :] = uu[start + 1 :]
+            new[j, 1, start + 1 :] = vv[start + 1 :]
+            work[j] += w_add
+        if failures:
+            k = min(failures)
+            raise RuntimeError(
+                f"brusselator Newton failed on {failures[k]} component(s) at "
+                f"step {k} (block starting at {lo}); "
+                "reduce dt or raise newton_max_iter"
+            )
 
     # ------------------------------------------------------------------
     # Migration

@@ -1,0 +1,394 @@
+"""Regression tests for the optimised kernels (banded LU, Newton, DES).
+
+The performance rewrite (vectorized banded kernels, Newton active-set
+compaction, slots-based DES events with batched dispatch) promises one
+thing above all: **no observable change**.  These tests pin that promise
+down:
+
+* property tests of the hybrid banded LU against the scipy oracle over
+  random bandwidths, including the degenerate shapes ``kl = 0``,
+  ``ku = 0``, ``kl != ku`` and ``n = 1``;
+* bit-identity of the tuned paths against the retained scalar reference
+  (``lu_factor_scalar`` / ``solve_scalar``);
+* :class:`~repro.numerics.banded.BandedLUCache` reuse semantics;
+* equivalence of compacted vs full-batch ``newton_batched_2x2``;
+* modified-Newton (``jacobian_refresh``) reaching the same fixed point;
+* the event queue's live-only ``len()``, tombstone compaction and
+  ``pop_at`` batched dispatch;
+* determinism of a full AIAC run — the event trace and solution bytes
+  are identical run-to-run.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.event import EventQueue
+from repro.numerics.banded import (
+    BandedLUCache,
+    BandedMatrix,
+    solve_banded_system,
+    thomas_solve,
+)
+from repro.numerics.euler import implicit_euler_banded
+from repro.numerics.newton import NewtonOptions, newton_batched_2x2
+
+scipy_linalg = pytest.importorskip("scipy.linalg")
+
+
+def random_banded_dd(n, kl, ku, rng):
+    """Random strictly diagonally dominant banded matrix (dense)."""
+    a = np.zeros((n, n))
+    for i in range(n):
+        for j in range(max(0, i - kl), min(n, i + ku + 1)):
+            if i != j:
+                a[i, j] = rng.uniform(-1, 1)
+        a[i, i] = np.sum(np.abs(a[i])) + rng.uniform(1.0, 2.0)
+    return a
+
+
+# ----------------------------------------------------------------------
+# Banded LU vs scipy oracle
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    kl=st.integers(min_value=0, max_value=5),
+    ku=st.integers(min_value=0, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_lu_matches_scipy_property(n, kl, ku, seed):
+    rng = np.random.default_rng(seed)
+    kl = min(kl, n - 1)
+    ku = min(ku, n - 1)
+    a = random_banded_dd(n, kl, ku, rng)
+    b = rng.normal(size=n)
+    m = BandedMatrix.from_dense(a, kl, ku)
+    x = m.lu_factor().solve(b)
+    x_ref = scipy_linalg.solve_banded((kl, ku), m.bands, b)
+    assert np.allclose(x, x_ref, rtol=1e-10, atol=1e-12)
+
+
+@pytest.mark.parametrize(
+    "n,kl,ku",
+    [
+        (1, 0, 0),  # scalar system
+        (128, 0, 5),  # upper triangular band (no elimination)
+        (128, 5, 0),  # lower triangular band (no back-band)
+        (257, 12, 4),  # kl != ku, vectorized path
+        (64, 3, 9),  # kl != ku the other way
+        (513, 16, 16),  # wide symmetric band, bulk strided path
+        (40, 39, 39),  # full bandwidth (band == dense)
+    ],
+)
+def test_lu_matches_scipy_edge_shapes(n, kl, ku):
+    rng = np.random.default_rng(n * 1000 + kl * 10 + ku)
+    a = random_banded_dd(n, kl, ku, rng)
+    b = rng.normal(size=n)
+    m = BandedMatrix.from_dense(a, kl, ku)
+    x = m.lu_factor().solve(b)
+    x_ref = scipy_linalg.solve_banded((kl, ku), m.bands, b)
+    assert np.allclose(x, x_ref, rtol=1e-10, atol=1e-12)
+
+
+@pytest.mark.parametrize("n,kl,ku", [(45, 2, 2), (200, 1, 3), (30, 0, 2)])
+def test_narrow_paths_bit_identical_to_scalar_reference(n, kl, ku):
+    """Narrow-band factor/solve must reproduce the seed scalar path exactly.
+
+    Narrow bands (the kl=ku=2 hot case) dispatch to the Python-list
+    sweep, which performs the same scalar operations in the same order
+    as the retained closure reference — the results are bitwise equal,
+    which is what keeps AIAC runs bit-identical to the seed.
+    """
+    rng = np.random.default_rng(7)
+    a = random_banded_dd(n, kl, ku, rng)
+    b = rng.normal(size=n)
+    m = BandedMatrix.from_dense(a, kl, ku)
+    lu_new = m.lu_factor()
+    lu_ref = m.lu_factor_scalar()
+    np.testing.assert_array_equal(lu_new._lu, lu_ref._lu)
+    np.testing.assert_array_equal(lu_new.solve(b), lu_ref.solve_scalar(b))
+
+
+def test_wide_path_close_to_scalar_reference():
+    """The vectorized wide-band path reorders the arithmetic, so it is
+    allclose (not bitwise equal) to the scalar reference."""
+    rng = np.random.default_rng(7)
+    n, kl, ku = 64, 16, 16
+    a = random_banded_dd(n, kl, ku, rng)
+    b = rng.normal(size=n)
+    m = BandedMatrix.from_dense(a, kl, ku)
+    x_new = m.lu_factor().solve(b)
+    x_ref = m.lu_factor_scalar().solve_scalar(b)
+    np.testing.assert_allclose(x_new, x_ref, rtol=1e-12, atol=1e-14)
+
+
+def test_thomas_matches_banded():
+    rng = np.random.default_rng(3)
+    n = 50
+    a = random_banded_dd(n, 1, 1, rng)
+    b = rng.normal(size=n)
+    m = BandedMatrix.from_dense(a, 1, 1)
+    x_thomas = thomas_solve(
+        np.r_[0.0, np.diag(a, -1)], np.diag(a).copy(), np.r_[np.diag(a, 1), 0.0], b
+    )
+    x_banded = solve_banded_system(m, b, backend="native")
+    assert np.allclose(x_thomas, x_banded, rtol=1e-12, atol=1e-14)
+
+
+def test_singular_pivot_raises_on_both_paths():
+    bands = np.zeros((3, 6))
+    bands[1, :] = 1.0
+    bands[1, 3] = 0.0  # exact zero pivot mid-matrix
+    m = BandedMatrix(bands, 1, 1)
+    with pytest.raises(np.linalg.LinAlgError):
+        m.lu_factor()
+    with pytest.raises(np.linalg.LinAlgError):
+        m.lu_factor_scalar()
+
+
+# ----------------------------------------------------------------------
+# LU reuse cache
+# ----------------------------------------------------------------------
+def test_lu_cache_reuses_up_to_max_uses():
+    rng = np.random.default_rng(11)
+    m = BandedMatrix.from_dense(random_banded_dd(12, 2, 2, rng), 2, 2)
+    cache = BandedLUCache(max_uses=3)
+    assert cache.get(0.5) is None  # miss on empty cache
+    lu = cache.put(0.5, m.lu_factor())  # put counts as the first use
+    assert cache.get(0.5) is lu  # use 2
+    assert cache.get(0.5) is lu  # use 3
+    assert cache.get(0.5) is None  # exhausted -> refactor
+    assert cache.misses == 2 and cache.hits == 2
+
+
+def test_lu_cache_key_change_invalidates():
+    rng = np.random.default_rng(12)
+    m = BandedMatrix.from_dense(random_banded_dd(8, 1, 1, rng), 1, 1)
+    cache = BandedLUCache(max_uses=100)
+    cache.put(0.5, m.lu_factor())
+    assert cache.get(0.25) is None  # different dt -> stale
+    lu2 = cache.put(0.25, m.lu_factor())
+    assert cache.get(0.25) is lu2
+
+
+# ----------------------------------------------------------------------
+# Newton compaction equivalence
+# ----------------------------------------------------------------------
+def _make_quadratic_problem(n, seed):
+    """Independent 2x2 systems u^2 + v - a = 0, v^2 - u - b = 0."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(1.0, 3.0, size=n)
+    b = rng.uniform(0.5, 2.0, size=n)
+
+    def f(u, v, idx=None):
+        aa = a if idx is None else a[idx]
+        bb = b if idx is None else b[idx]
+        f1 = u * u + v - aa
+        f2 = v * v - u - bb
+        return f1, f2, 2.0 * u, np.ones_like(u), -np.ones_like(u), 2.0 * v
+
+    f.newton_compactable = True
+    return f, rng.uniform(0.5, 2.0, size=n), rng.uniform(0.5, 2.0, size=n)
+
+
+@pytest.mark.parametrize("threshold", [None, 0.99, 0.5, 0.1])
+def test_newton_compaction_bit_identical(threshold):
+    f, u0, v0 = _make_quadratic_problem(400, seed=21)
+    base = newton_batched_2x2(f, u0, v0, NewtonOptions(tol=1e-12))
+    opt = NewtonOptions(tol=1e-12, compact_threshold=threshold)
+    res = newton_batched_2x2(f, u0, v0, opt)
+    np.testing.assert_array_equal(res.u, base.u)
+    np.testing.assert_array_equal(res.v, base.v)
+    np.testing.assert_array_equal(res.iterations, base.iterations)
+    np.testing.assert_array_equal(res.converged, base.converged)
+    # The batch deliberately contains both kinds of exits: most systems
+    # converge (drop out of the active set) while a few exhaust the
+    # budget, so compaction and budget-exhaustion paths are both hit.
+    n_conv = int(res.converged.sum())
+    assert 0 < n_conv < res.converged.shape[0]
+    assert n_conv > 0.9 * res.converged.shape[0]
+
+
+def test_newton_compaction_requires_opt_in():
+    """Callbacks without the marker attribute never see an idx argument."""
+    n = 100
+    rng = np.random.default_rng(5)
+    target = rng.uniform(1.0, 2.0, size=n)
+
+    def f(u, v):  # no idx parameter, no newton_compactable attribute
+        one = np.ones_like(u)
+        return u - target, v - target, one, 0.0 * one, 0.0 * one, one
+
+    res = newton_batched_2x2(
+        f, np.zeros(n), np.zeros(n), NewtonOptions(compact_threshold=0.5)
+    )
+    assert res.all_converged
+    np.testing.assert_allclose(res.u, target)
+
+
+def test_newton_default_options_not_shared():
+    """options=None constructs fresh defaults (no mutable-default alias)."""
+    f, u0, v0 = _make_quadratic_problem(10, seed=2)
+    r1 = newton_batched_2x2(f, u0, v0)
+    r2 = newton_batched_2x2(f, u0, v0, None)
+    np.testing.assert_array_equal(r1.u, r2.u)
+    np.testing.assert_array_equal(r1.iterations, r2.iterations)
+
+
+# ----------------------------------------------------------------------
+# Modified Newton (frozen Jacobian) in implicit Euler
+# ----------------------------------------------------------------------
+def test_implicit_euler_jacobian_refresh_same_fixed_point():
+    """Reusing the LU across Newton iterations must not move the answer.
+
+    Convergence is judged on the true residual, so modified Newton can
+    take more iterations but lands inside the same tolerance ball.
+    """
+    decay = np.array([0.5, 1.0, 2.0, 4.0])
+
+    def rhs(t, y):
+        return -decay * y
+
+    def jac_banded(t, y):
+        return -decay[None, :].copy()  # kl = ku = 0
+
+    y0 = np.ones(4)
+    t_grid = np.linspace(0.0, 1.0, 21)
+    exact = implicit_euler_banded(rhs, jac_banded, 0, 0, y0, t_grid)
+    frozen = implicit_euler_banded(
+        rhs, jac_banded, 0, 0, y0, t_grid,
+        options=NewtonOptions(tol=1e-10, max_iter=50, jacobian_refresh=5),
+    )
+    assert np.allclose(frozen, exact, rtol=1e-9, atol=1e-10)
+
+
+def test_implicit_euler_refresh_one_matches_seed_path():
+    """refresh=1 must take the exact-Newton branch (bitwise same result)."""
+    def rhs(t, y):
+        return np.sin(y) - y
+
+    def jac_banded(t, y):
+        return (np.cos(y) - 1.0)[None, :].copy()
+
+    y0 = np.array([0.3, 1.2, 2.0])
+    t_grid = np.linspace(0.0, 0.5, 6)
+    a = implicit_euler_banded(rhs, jac_banded, 0, 0, y0, t_grid, backend="native")
+    b = implicit_euler_banded(
+        rhs, jac_banded, 0, 0, y0, t_grid, backend="native",
+        options=NewtonOptions(tol=1e-10, max_iter=50, jacobian_refresh=1),
+    )
+    np.testing.assert_array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Event queue: live len, compaction, batched pop
+# ----------------------------------------------------------------------
+def test_len_counts_only_live_events():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(10)]
+    assert len(q) == 10
+    for e in events[:4]:
+        e.cancel()
+    assert len(q) == 6  # tombstones excluded (seed counted them)
+    e = q.pop()
+    assert e is events[4]
+    assert len(q) == 5
+
+
+def test_cancel_after_pop_does_not_corrupt_len():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    popped = q.pop()
+    assert popped is e1
+    popped.cancel()  # already out of the heap: must not decrement len
+    assert len(q) == 1
+    assert q.pop() is not None
+    assert len(q) == 0
+
+
+def test_cancel_is_idempotent_for_len():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    e.cancel()
+    e.cancel()
+    e.cancel()
+    assert len(q) == 1
+
+
+def test_compaction_keeps_order_and_bounds_heap():
+    q = EventQueue()
+    events = [q.push(float(i), lambda i=i: i) for i in range(300)]
+    # Cancel most of them; the queue should compact itself.
+    for e in events[:250]:
+        e.cancel()
+    assert len(q._heap) < 100  # tombstones physically removed
+    assert len(q) == 50
+    times = []
+    while (e := q.pop()) is not None:
+        times.append(e.time)
+    assert times == [float(i) for i in range(250, 300)]
+
+
+def test_pop_at_only_drains_exact_timestamp():
+    q = EventQueue()
+    q.push(1.0, lambda: "a")
+    q.push(1.0, lambda: "b")
+    q.push(2.0, lambda: "c")
+    assert q.pop_at(1.0) is not None
+    assert q.pop_at(1.0) is not None
+    assert q.pop_at(1.0) is None  # next event is at t=2.0
+    assert len(q) == 1
+
+
+def test_pop_at_skips_tombstone_but_not_later_times():
+    """A cancelled head must not let pop_at leak a later-time event."""
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: "a")
+    q.push(2.0, lambda: "b")
+    e1.cancel()
+    assert q.pop_at(1.0) is None
+    assert q.peek_time() == 2.0
+
+
+# ----------------------------------------------------------------------
+# End-to-end AIAC determinism
+# ----------------------------------------------------------------------
+def _aiac_fingerprint():
+    from repro.core.solver import run_aiac
+    from repro.workloads.scenarios import Table1Scenario
+
+    sc = Table1Scenario(
+        n_points=30, t_end=1.0, n_steps=8, tolerance=1e-3, load_dwell=50.0
+    )
+    plat = sc.platform()
+    res = run_aiac(
+        sc.problem(), plat, sc.solver_config(trace=True),
+        host_order=sc.host_order(plat),
+    )
+    h = hashlib.sha256()
+    for blk in res.solution_blocks:
+        h.update(np.ascontiguousarray(blk).tobytes())
+    for rec in res.tracer.iterations:
+        h.update(repr(rec).encode())
+    for rec in res.tracer.messages:
+        h.update(repr(rec).encode())
+    for rec in res.tracer.residuals:
+        h.update(repr(rec).encode())
+    h.update(repr((res.time, res.converged, res.iterations)).encode())
+    return h.hexdigest()
+
+
+def test_aiac_run_is_deterministic():
+    """Same scenario, two fresh simulators: byte-identical event trace.
+
+    This is the guard-rail for the whole performance layer — tombstone
+    compaction, batched same-time dispatch and the Newton fast paths
+    must be invisible in the RunResult.
+    """
+    assert _aiac_fingerprint() == _aiac_fingerprint()
