@@ -9,7 +9,11 @@ same information as text::
 
 ``█`` = computing, ``░`` = idle (explicitly recorded waits), ``·`` =
 outside any span (before the first / after the last iteration), ``▼`` =
-a load-balancing migration initiated in that time bin.
+a load-balancing migration initiated in that time bin, ``✖`` = an
+injected fault affecting that rank (crash/downtime window, slowdown,
+re-absorption of an orphaned migration).  Platform-wide faults
+(partitions, latency spikes) have no single row; they are listed under
+the chart instead.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ BUSY = "█"
 IDLE = "░"
 NONE = "·"
 MIGRATE = "▼"
+FAULT = "✖"
 
 
 def render_gantt(
@@ -68,10 +73,32 @@ def render_gantt(
         for mig in result.tracer.migrations:
             if mig.src_rank == rank and 0 <= mig.time < horizon:
                 cells[min(int(mig.time / dt), width - 1)] = MIGRATE
+        for fault in result.tracer.faults:
+            # Fault overlays win over everything: the reader must see
+            # where the platform misbehaved even inside a busy block.
+            if fault.rank != rank or fault.time >= horizon:
+                continue
+            t_end = min(fault.t_end, horizon)  # open windows (no restart)
+            b0 = max(int(fault.time / dt), 0)
+            b1 = min(int(max(t_end - 1e-12, fault.time) / dt), width - 1)
+            for b in range(b0, b1 + 1):
+                cells[b] = FAULT
         rows.append(f"rank {rank:2d} |{''.join(cells)}|")
 
-    header = (
-        f"{result.model}: t in [0, {horizon:.3g}]s, "
-        f"{BUSY}=compute {IDLE}=idle {MIGRATE}=migration"
-    )
-    return "\n".join([header, *rows])
+    legend = f"{BUSY}=compute {IDLE}=idle {MIGRATE}=migration"
+    if result.tracer.faults:
+        legend += f" {FAULT}=fault"
+    header = f"{result.model}: t in [0, {horizon:.3g}]s, {legend}"
+    lines = [header, *rows]
+    global_faults = [f for f in result.tracer.faults if f.rank is None]
+    if global_faults:
+        lines.append("platform-wide faults:")
+        for fault in global_faults:
+            window = (
+                f"t={fault.time:.3g}"
+                if fault.t_end == fault.time
+                else f"t=[{fault.time:.3g}, {fault.t_end:.3g}]"
+            )
+            detail = f" ({fault.detail})" if fault.detail else ""
+            lines.append(f"  {FAULT} {fault.kind} {window}{detail}")
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ experiments pay.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import platform
 import statistics
@@ -26,7 +27,42 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["Timer", "bench", "BenchResult", "BenchReport"]
+__all__ = [
+    "Timer",
+    "bench",
+    "BenchResult",
+    "BenchReport",
+    "stable_digest",
+    "save_report",
+]
+
+
+def canonical_json(data: Any) -> str:
+    """Canonical JSON text of ``data``: sorted keys, no whitespace.
+
+    Python serialises floats via ``repr`` (shortest round-trip form), so
+    identical float values always produce identical text — which makes
+    this a sound basis for byte-level reproducibility checks.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(data: Any) -> str:
+    """SHA-256 hex digest of ``data``'s canonical JSON form.
+
+    Used by the resilience experiment's determinism check: two runs of
+    the same scenario and seed must produce the same digest.  Feed it
+    only virtual-time quantities — a wall-clock field would break the
+    guarantee by construction.
+    """
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+def save_report(path: str, data: dict[str, Any]) -> None:
+    """Write a JSON report with sorted keys (diff-friendly, stable)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 class Timer:

@@ -6,6 +6,7 @@ Usage::
     python -m repro table1 [--full]
     python -m repro figures-1-4
     python -m repro models
+    python -m repro resilience [--full] [--json BENCH_resilience.json]
     python -m repro ablations [--only period,estimator,...]
     python -m repro solve --problem brusselator --ranks 4 --lb [--gantt]
     python -m repro list
@@ -51,6 +52,24 @@ def _models(args: argparse.Namespace) -> str:
     from repro.experiments import run_models_comparison
 
     return run_models_comparison().report()
+
+
+def _resilience(args: argparse.Namespace) -> str:
+    from repro.experiments import run_resilience
+    from repro.workloads import ResilienceScenario
+
+    if args.full:
+        scenario = ResilienceScenario()
+    elif args.tiny:
+        scenario = ResilienceScenario.tiny()
+    else:
+        scenario = ResilienceScenario.quick()
+    result = run_resilience(scenario)
+    report = result.report()
+    if args.json:
+        result.save_json(args.json)
+        report += f"\nresilience report written to {args.json}"
+    return report
 
 
 _ABLATIONS: dict[str, str] = {
@@ -159,6 +178,7 @@ def _list(args: argparse.Namespace) -> str:
             "table1       heterogeneous 3-site grid (paper Table 1)",
             "figures-1-4  SISC/SIAC/AIAC execution flows (paper Figures 1-4)",
             "models       cluster vs grid model comparison (paper §6)",
+            "resilience   execution models under injected faults",
             f"ablations    design-knob sweeps: {', '.join(sorted(_ABLATIONS))}",
         ]
     )
@@ -187,6 +207,26 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="paper-scale run (minutes) instead of the quick one",
             )
+
+    resilience_cmd = sub.add_parser(
+        "resilience", help="execution models under injected faults"
+    )
+    resilience_cmd.set_defaults(handler=_resilience)
+    resilience_cmd.add_argument(
+        "--full",
+        action="store_true",
+        help="all fault schedules instead of the quick subset",
+    )
+    resilience_cmd.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smallest sweep (CI smoke: clean baseline + loss-and-crash)",
+    )
+    resilience_cmd.add_argument(
+        "--json",
+        default="",
+        help="also write the report (rows + digest) to this JSON file",
+    )
 
     ablation_cmd = sub.add_parser("ablations")
     ablation_cmd.set_defaults(handler=_ablations)

@@ -41,15 +41,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.config import LBConfig, SolverConfig
 from repro.core.estimators import make_estimator
 from repro.core.records import RunResult
 from repro.core.solver import ChainRun, RankContext, build_chain
+from repro.des import Wait
 from repro.grid.platform import Platform
 from repro.problems.base import Problem
 from repro.runtime.message import Message
-from repro.runtime.tracer import MigrationRecord
+from repro.runtime.tracer import FaultRecord, MigrationRecord
 
 __all__ = ["run_balanced_aiac", "LBRankState"]
 
@@ -76,6 +78,19 @@ class LBRankState:
     #: Consecutive genuinely-fruitless trials (adaptive mode backs off
     #: only after several in a row, tolerating estimator noise).
     fruitless_streak: int = 0
+    #: Monotonic per-side counters matching protocol timeouts to the
+    #: offer/accept they guard (fault injection only): a timer whose
+    #: epoch no longer matches is stale and must not fire.
+    offer_epoch: dict[str, int] = field(
+        default_factory=lambda: {"left": 0, "right": 0}
+    )
+    incoming_epoch: dict[str, int] = field(
+        default_factory=lambda: {"left": 0, "right": 0}
+    )
+    #: Offers abandoned because no reply survived the fault schedule.
+    offers_timed_out: int = 0
+    #: Migration payloads re-absorbed after their transfer failed.
+    reabsorbed: int = 0
 
 
 def _opposite(side: str) -> str:
@@ -125,6 +140,29 @@ class _BalancedRun:
                     f"lb_data_from_{side}",
                     lambda msg, c=ctx, s=side: self._on_data(c, s, msg),
                 )
+                # Failure hooks for the resilient transport (inert on
+                # the lossless fast path): a protocol message of ours
+                # toward `side` carries the kind named after the side
+                # the *receiver* sees it from, i.e. the opposite one.
+                out_side = _opposite(side)
+                ctx.node.register_failure_handler(
+                    f"lb_offer_from_{side}",
+                    lambda msg, delivered, c=ctx, s=out_side: (
+                        self._on_offer_failed(c, s, msg, delivered)
+                    ),
+                )
+                ctx.node.register_failure_handler(
+                    f"lb_reply_from_{side}",
+                    lambda msg, delivered, c=ctx, s=out_side: (
+                        self._on_reply_failed(c, s, msg, delivered)
+                    ),
+                )
+                ctx.node.register_failure_handler(
+                    f"lb_data_from_{side}",
+                    lambda msg, delivered, c=ctx, s=out_side: (
+                        self._on_data_failed(c, s, msg, delivered)
+                    ),
+                )
 
     def _rank_busy(self, rank: int) -> bool:
         """Unfinished migration protocol at ``rank``?
@@ -155,6 +193,11 @@ class _BalancedRun:
         neighbor = run.neighbor(ctx.rank, side)
         if neighbor is None:
             return "edge"
+        if not ctx.node.peer_alive(neighbor.rank):
+            # The neighbour looks dead (nothing heard within the liveness
+            # timeout): never shed load toward it — the components would
+            # strand in a failed transfer.  Transient: retried next sweep.
+            return "dead_peer"
         if state.outgoing[side] is not None or state.incoming_expected[side]:
             return "pending"
         data_kind = f"lb_data_from_{_opposite(side)}"
@@ -193,6 +236,18 @@ class _BalancedRun:
         )
         state.outgoing[side] = nb
         state.offers_sent += 1
+        if run.injector is not None:
+            # Guard the handshake against permanently lost replies: an
+            # offer still unanswered after the protocol timeout is
+            # abandoned (the epoch check ignores stale timers).
+            state.offer_epoch[side] += 1
+            run.sim.at(
+                run.sim.now + run.injector.resilience.protocol_timeout,
+                self._expire_offer,
+                ctx,
+                side,
+                state.offer_epoch[side],
+            )
         return "offered"
 
     # ------------------------------------------------------------------
@@ -219,6 +274,19 @@ class _BalancedRun:
             # offer will be rejected by the (lower-ranked) neighbour.
         if accept:
             state.incoming_expected[side] = True
+            if self.run.injector is not None:
+                # If the promised data never makes it (sender crashed for
+                # good, or the transfer failed and was re-absorbed), the
+                # expectation must not pin this rank "busy" forever.
+                state.incoming_epoch[side] += 1
+                self.run.sim.at(
+                    self.run.sim.now
+                    + self.run.injector.resilience.protocol_timeout,
+                    self._expire_incoming,
+                    ctx,
+                    side,
+                    state.incoming_epoch[side],
+                )
         reply_kind = f"lb_reply_from_{_opposite(side)}"
         ctx.node.send(
             neighbor.node,
@@ -256,10 +324,14 @@ class _BalancedRun:
             return
         payload = run.problem.split(ctx.state, nb, side)
         lo, hi = run.partition.record_send(ctx.rank, nb, side)
+        # The halo the shipped edge had before the split: carried along
+        # so a failed transfer can be re-absorbed losslessly.
         if side == "left":
+            prev_halo = ctx.halo_left
             ctx.lo = hi
             ctx.halo_left = run.problem.payload_edge_halo(payload, "last")
         else:
+            prev_halo = ctx.halo_right
             ctx.hi = lo
             ctx.halo_right = run.problem.payload_edge_halo(payload, "first")
         receiver_halo = run.problem.halo_out(ctx.state, side)
@@ -277,11 +349,16 @@ class _BalancedRun:
                 "hi": hi,
                 "components": payload,
                 "halo": receiver_halo,
+                "prev_halo": prev_halo,
             },
             nbytes,
             exclusive=True,
         )
         assert sent, "data channel was checked idle before offering"
+        if ctx.checkpoint is not None:
+            # Migration moved the block edge: refresh the checkpoint so a
+            # later crash-restore never rolls back the partition bounds.
+            run.checkpoint(ctx)
         state.migrations_out += 1
         _adapt_period(state, cfg, productive=True)
         state.ok_to_try = state.current_period  # Algorithm 5: OkToTryLB = 20
@@ -331,6 +408,8 @@ class _BalancedRun:
             ctx.halo_left = payload["halo"]
         run.partition.record_receive(ctx.rank, lo, hi)
         state.incoming_expected[side] = False
+        if ctx.checkpoint is not None:
+            run.checkpoint(ctx)
         run.monitor.reset_rank(ctx.rank)
         if run.detector is not None:
             run.detector.reset_rank(ctx.rank)
@@ -342,13 +421,112 @@ class _BalancedRun:
             state.ok_to_try = 0
             state.fruitless_streak = 0
 
+    # ------------------------------------------------------------------
+    # Fault recovery (resilient transport only)
+    # ------------------------------------------------------------------
+    def _expire_offer(self, ctx: RankContext, side: str, epoch: int) -> None:
+        """Protocol timeout: abandon an offer no reply ever resolved."""
+        state = self.lb[ctx.rank]
+        if state.offer_epoch[side] != epoch or state.outgoing[side] is None:
+            return
+        state.outgoing[side] = None
+        state.offers_timed_out += 1
+        _adapt_period(state, self.cfg, productive=False)
+        state.ok_to_try = (
+            state.current_period if self.cfg.adaptive else self.cfg.retry_delay
+        )
+
+    def _expire_incoming(self, ctx: RankContext, side: str, epoch: int) -> None:
+        """Protocol timeout: stop expecting data that never arrived."""
+        state = self.lb[ctx.rank]
+        if state.incoming_epoch[side] != epoch:
+            return
+        state.incoming_expected[side] = False
+
+    def _on_offer_failed(
+        self, ctx: RankContext, side: str, msg: Message, delivered: bool
+    ) -> None:
+        """Our offer toward ``side`` exhausted its retransmissions."""
+        state = self.lb[ctx.rank]
+        if state.outgoing[side] is None:
+            return
+        state.outgoing[side] = None
+        state.offers_timed_out += 1
+        _adapt_period(state, self.cfg, productive=False)
+        state.ok_to_try = (
+            state.current_period if self.cfg.adaptive else self.cfg.retry_delay
+        )
+
+    def _on_reply_failed(
+        self, ctx: RankContext, side: str, msg: Message, delivered: bool
+    ) -> None:
+        """Our reply toward ``side`` (answering its offer) never made it.
+
+        If we had accepted and the offerer provably never learned it
+        (``delivered`` False), it will not ship data: drop the
+        expectation now instead of waiting for the protocol timeout.
+        """
+        if delivered or not msg.payload["accept"]:
+            return
+        self.lb[ctx.rank].incoming_expected[side] = False
+
+    def _on_data_failed(
+        self, ctx: RankContext, side: str, msg: Message, delivered: bool
+    ) -> None:
+        """Migration data toward ``side`` exhausted its retransmissions.
+
+        ``delivered`` True means the receiver processed the payload and
+        only the acknowledgements were lost — the components live there
+        now and touching them would double-place them.  Otherwise the
+        payload is orphaned: merge it back into our own block (the edge
+        stayed frozen while the transfer was unresolved, so it is still
+        adjacent) and restore the pre-split halo.
+        """
+        payload = msg.payload
+        if delivered or payload["n"] == 0:
+            return
+        run = self.run
+        lo, hi = payload["lo"], payload["hi"]
+        run.partition.record_reabsorb(ctx.rank, lo, hi)
+        run.problem.merge(ctx.state, payload["components"], side)
+        if side == "left":
+            ctx.lo = lo
+            ctx.halo_left = payload["prev_halo"]
+        else:
+            ctx.hi = hi
+            ctx.halo_right = payload["prev_halo"]
+        state = self.lb[ctx.rank]
+        state.reabsorbed += 1
+        if ctx.checkpoint is not None:
+            run.checkpoint(ctx)
+        run.monitor.reset_rank(ctx.rank)
+        if run.detector is not None:
+            run.detector.reset_rank(ctx.rank)
+        run.tracer.fault(
+            FaultRecord(
+                kind="reabsorb",
+                time=run.sim.now,
+                t_end=run.sim.now,
+                rank=ctx.rank,
+                detail=f"{payload['n']} components [{lo}, {hi})",
+            )
+        )
+
 
 def _balanced_process(balanced: _BalancedRun, ctx: RankContext):
     """The main loop of Algorithm 4."""
     run = balanced.run
     state = balanced.lb[ctx.rank]
     exclusive = run.config.exclusive_sends
-    while not ctx.node.stop_requested:
+    node = ctx.node
+    while not node.stop_requested:
+        # -- crash recovery (no-op on the lossless fast path) --
+        if not node.alive:
+            yield Wait(node.restart_signal)
+            continue
+        if node.crash_count != ctx.restored_epoch:
+            run.restore_checkpoint(ctx)
+            continue
         # -- load-balancing trial (left first, then right: Algorithm 4) --
         if state.ok_to_try <= 0:
             left = balanced.try_lb(ctx, "left")
@@ -375,8 +553,10 @@ def _balanced_process(balanced: _BalancedRun, ctx: RankContext):
             state.ok_to_try -= 1
         # -- one sweep with mid-sweep left send (Algorithm 1 core) --
         yield from run.sweep(ctx, send_left_mid_sweep=True, exclusive=exclusive)
-        if ctx.node.stop_requested:
+        if node.stop_requested:
             break
+        if not node.alive or node.crash_count != ctx.restored_epoch:
+            continue  # the sweep was lost to a crash
         run.send_halo(
             ctx, "right", estimate=ctx.estimator.value(), exclusive=exclusive
         )
@@ -389,22 +569,30 @@ def run_balanced_aiac(
     lb_config: LBConfig | None = None,
     *,
     host_order: list[int] | None = None,
+    injector: Any = None,
 ) -> RunResult:
     """Solve with AIAC coupled to decentralized dynamic load balancing.
 
     This is the paper's contribution: the solver of
     :func:`repro.core.solver.run_aiac` plus the residual-driven,
-    neighbour-local migration protocol of Algorithms 4–7.
+    neighbour-local migration protocol of Algorithms 4–7.  ``injector``
+    optionally arms a :class:`~repro.faults.injector.FaultInjector`
+    against the run (installed after the LB estimators are wired, so the
+    seeded checkpoints snapshot the configured estimator).
     """
     run = build_chain(
         problem, platform, config, model="aiac+lb", host_order=host_order
     )
     balanced = _BalancedRun(run, lb_config if lb_config is not None else LBConfig())
+    if injector is not None:
+        injector.install(run)
     for ctx in run.ranks:
         run.sim.spawn(f"lb-rank-{ctx.rank}", _balanced_process(balanced, ctx))
     run.run()
     result = run.result()
     result.meta["offers_sent"] = sum(s.offers_sent for s in balanced.lb)
     result.meta["offers_rejected"] = sum(s.offers_rejected for s in balanced.lb)
+    result.meta["offers_timed_out"] = sum(s.offers_timed_out for s in balanced.lb)
+    result.meta["reabsorbed"] = sum(s.reabsorbed for s in balanced.lb)
     result.meta["final_sizes"] = run.partition.sizes()
     return result

@@ -118,6 +118,35 @@ class PartitionRegistry:
         self.check()
         return lo, hi
 
+    def record_reabsorb(self, src: int, lo: int, hi: int) -> None:
+        """``src`` took back the in-flight run ``[lo, hi)`` it had shipped.
+
+        Recovery path for fault injection: when migration data exhausts
+        its retransmission attempts without ever reaching the receiver,
+        the sender merges the orphaned components back into its own
+        block (they are still adjacent to it — the edge is frozen while
+        the transfer is unresolved).
+        """
+        for i, flight in enumerate(self._in_flight):
+            if flight.lo == lo and flight.hi == hi and flight.src == src:
+                del self._in_flight[i]
+                break
+        else:
+            raise PartitionError(
+                f"rank {src} re-absorbed [{lo}, {hi}) which is not in "
+                f"flight from it"
+            )
+        if hi == self._lo[src]:
+            self._lo[src] = lo
+        elif lo == self._hi[src]:
+            self._hi[src] = hi
+        else:
+            raise PartitionError(
+                f"run [{lo}, {hi}) is not adjacent to rank {src}'s block "
+                f"[{self._lo[src]}, {self._hi[src]})"
+            )
+        self.check()
+
     def record_receive(self, dst: int, lo: int, hi: int) -> None:
         """``dst`` merged the in-flight run ``[lo, hi)``."""
         for i, flight in enumerate(self._in_flight):

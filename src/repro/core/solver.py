@@ -35,7 +35,7 @@ from repro.core.convergence import SupervisorMonitor, TokenRingDetector
 from repro.core.estimators import LoadEstimator, ResidualEstimator
 from repro.core.partition import PartitionRegistry
 from repro.core.records import RunResult
-from repro.des import Hold, Signal, Simulator
+from repro.des import Hold, Signal, Simulator, Wait
 from repro.grid.platform import Platform
 from repro.problems.base import Problem
 from repro.runtime.message import Message
@@ -78,6 +78,13 @@ class RankContext:
     prev_residual: float = float("inf")
     #: Count of halo payloads dropped by the position guard.
     stale_halos_dropped: int = 0
+    #: Last durable snapshot of the rank's block (fault injection only;
+    #: None on the lossless fast path).
+    checkpoint: Any = None
+    #: ``node.crash_count`` value the current in-memory state descends
+    #: from; a mismatch means a crash wiped the state and the last
+    #: checkpoint must be restored.
+    restored_epoch: int = 0
 
     @property
     def n_local(self) -> int:
@@ -148,6 +155,11 @@ class ChainRun:
             self.detection_stop_time = None
         self.ranks: list[RankContext] = []
         self.aborted_reason: str | None = None
+        #: Fault injector attached via :meth:`attach_injector`; None on
+        #: the lossless fast path.
+        self.injector: Any = None
+        #: Sweeps between periodic checkpoints (0 = checkpointing off).
+        self.checkpoint_every = 0
         for rank in range(n_ranks):
             host = platform.hosts[host_order[rank]]
             node = GridNode(self.sim, rank, host, platform.network, self.tracer)
@@ -196,12 +208,91 @@ class ChainRun:
             ctx.node.stop_requested = True
         self.sim.stop()
 
+    # ------------------------------------------------------------------
+    # Fault injection: checkpoints and crash-restart recovery
+    # ------------------------------------------------------------------
+    def attach_injector(self, injector: Any) -> None:
+        """Switch this run onto the resilient transport.
+
+        Called by :meth:`repro.faults.injector.FaultInjector.install`:
+        wires the injector into every node and seeds an initial
+        checkpoint per rank so a crash at any time has a restore point.
+        """
+        if self.injector is not None:
+            raise RuntimeError("an injector is already attached to this run")
+        self.injector = injector
+        self.checkpoint_every = injector.resilience.checkpoint_every
+        for ctx in self.ranks:
+            ctx.node.injector = injector
+            self.checkpoint(ctx)
+
+    def checkpoint(self, ctx: RankContext) -> None:
+        """Snapshot everything a crashed rank needs to rejoin.
+
+        Taken periodically (every ``checkpoint_every`` sweeps) and at
+        *every* migration event, so the snapshot's block bounds always
+        equal the live ones — a restore never rolls back the partition
+        bookkeeping, only the numerical state.
+        """
+        ctx.checkpoint = {
+            "iteration": ctx.iteration,
+            "state": copy.deepcopy(ctx.state),
+            "lo": ctx.lo,
+            "hi": ctx.hi,
+            "halo_left": copy.deepcopy(ctx.halo_left),
+            "halo_right": copy.deepcopy(ctx.halo_right),
+            "halo_iter_left": ctx.halo_iter_left,
+            "halo_iter_right": ctx.halo_iter_right,
+            "estimator": copy.deepcopy(ctx.estimator),
+        }
+
+    def restore_checkpoint(self, ctx: RankContext) -> None:
+        """Rejoin after a crash: reload the last checkpoint."""
+        snap = ctx.checkpoint
+        if snap is None:
+            raise RuntimeError(
+                f"rank {ctx.rank} crashed but has no checkpoint; "
+                "was the injector attached via attach_injector()?"
+            )
+        if (ctx.lo, ctx.hi) != (snap["lo"], snap["hi"]):
+            # Checkpoints are refreshed at every migration, so the live
+            # and snapshotted bounds can never diverge; a mismatch means
+            # the recovery invariant broke.
+            raise RuntimeError(
+                f"rank {ctx.rank}: checkpoint block "
+                f"[{snap['lo']}, {snap['hi']}) does not match live block "
+                f"[{ctx.lo}, {ctx.hi})"
+            )
+        ctx.restored_epoch = ctx.node.crash_count
+        ctx.iteration = snap["iteration"]
+        ctx.state = copy.deepcopy(snap["state"])
+        ctx.halo_left = copy.deepcopy(snap["halo_left"])
+        ctx.halo_right = copy.deepcopy(snap["halo_right"])
+        ctx.halo_iter_left = snap["halo_iter_left"]
+        ctx.halo_iter_right = snap["halo_iter_right"]
+        ctx.estimator = copy.deepcopy(snap["estimator"])
+        ctx.residual = float("inf")
+        ctx.prev_residual = float("inf")
+        # The rank is about to re-iterate from older state: its previous
+        # convergence votes are void.
+        self.monitor.reset_rank(ctx.rank)
+        if self.detector is not None:
+            self.detector.reset_rank(ctx.rank)
+
     def _register_halo_handlers(self, ctx: RankContext) -> None:
+        # Halo payloads are idempotent state transfer: under the
+        # resilient transport a reordered older transmission must lose to
+        # a fresher one already delivered (AIAC newest-wins semantics).
+        # The flag is inert on the lossless fast path.
         ctx.node.register_handler(
-            "halo_from_left", lambda msg, c=ctx: self._on_halo(c, "left", msg)
+            "halo_from_left",
+            lambda msg, c=ctx: self._on_halo(c, "left", msg),
+            newest_wins=True,
         )
         ctx.node.register_handler(
-            "halo_from_right", lambda msg, c=ctx: self._on_halo(c, "right", msg)
+            "halo_from_right",
+            lambda msg, c=ctx: self._on_halo(c, "right", msg),
+            newest_wins=True,
         )
 
     def _on_halo(self, ctx: RankContext, side: str, msg: Message) -> None:
@@ -312,6 +403,7 @@ class ChainRun:
         overlap point, as in Algorithm 1.
         """
         pre_estimate = ctx.estimator.value()
+        epoch = ctx.node.crash_count
         result = self.problem.iterate(ctx.state, ctx.halo_left, ctx.halo_right)
         t0 = ctx.node.sim.now
         duration = ctx.node.host.duration_for_work(result.total_work, t0)
@@ -319,7 +411,7 @@ class ChainRun:
         duration = max(duration, self.config.min_sweep_duration)
         first = duration * self.config.overlap_split
         yield Hold(first)
-        if send_left_mid_sweep:
+        if send_left_mid_sweep and ctx.node.alive:
             # Mid-sweep left send carries the *previous* sweep's estimate
             # (this sweep's residual is not known yet in the real code)
             # but the data and iteration stamp of the sweep in progress.
@@ -332,6 +424,12 @@ class ChainRun:
             )
         yield Hold(duration - first)
 
+        if not ctx.node.alive or ctx.node.crash_count != epoch:
+            # A crash hit this rank mid-sweep (possibly crash *and*
+            # restart within one Hold): the sweep's results are lost.
+            # Discard all accounting; the caller's recovery path restores
+            # the last checkpoint before iterating again.
+            return duration
         ctx.iteration += 1
         ctx.prev_residual = ctx.residual
         ctx.residual = result.local_residual
@@ -355,15 +453,48 @@ class ChainRun:
                 n_local=ctx.n_local,
             )
         )
-        self.monitor.report(ctx.rank, ctx.residual, ctx.node.sim.now)
+        if self.injector is None or not self._halo_is_stale(ctx):
+            self.monitor.report(ctx.rank, ctx.residual, ctx.node.sim.now)
         if self.detector is not None and not ctx.node.stop_requested:
             self._detection_after_sweep(ctx)
+        if (
+            ctx.checkpoint is not None
+            and self.checkpoint_every
+            and ctx.iteration % self.checkpoint_every == 0
+        ):
+            self.checkpoint(ctx)
         if ctx.iteration >= self.config.max_iterations:
             self.abort(
                 f"rank {ctx.rank} exceeded max_iterations="
                 f"{self.config.max_iterations}"
             )
         return duration
+
+    def _halo_is_stale(self, ctx: RankContext) -> bool:
+        """Convergence-detection freshness gate (fault injection only).
+
+        A residual computed against a badly stale halo is meaningless
+        for global convergence: a drop-starved rank quiesces against
+        its frozen boundary and its local residual collapses even
+        though the global solution is wrong.  While either halo input
+        lags the owning neighbour's progress by more than the
+        configured staleness bound, the sweep is *not reported* to the
+        oracle — it carries no evidence either way, so the rank's
+        persistence streak pauses rather than resetting (resetting
+        would defer detection almost indefinitely under sustained
+        loss).  The oracle is omniscient by design, so peeking at the
+        neighbour's true iteration count is fair game here.  The
+        fault-free fast path never calls this.
+        """
+        bound = self.injector.resilience.max_halo_staleness
+        for side, halo_iter in (
+            ("left", ctx.halo_iter_left),
+            ("right", ctx.halo_iter_right),
+        ):
+            neighbor = self.neighbor(ctx.rank, side)
+            if neighbor is not None and neighbor.iteration - halo_iter > bound:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Running / result assembly
@@ -438,12 +569,27 @@ def build_chain(
 
 
 def _aiac_process(run: ChainRun, ctx: RankContext):
-    """The main loop of Algorithm 1 (no load balancing)."""
+    """The main loop of Algorithm 1 (no load balancing).
+
+    The crash-recovery prologue is a no-op on the lossless fast path
+    (``alive`` is always True and ``crash_count == restored_epoch == 0``
+    without a fault injector): a crashed rank parks on its restart
+    signal, then rejoins from its last checkpoint before iterating.
+    """
     exclusive = run.config.exclusive_sends
-    while not ctx.node.stop_requested:
+    node = ctx.node
+    while not node.stop_requested:
+        if not node.alive:
+            yield Wait(node.restart_signal)
+            continue  # re-check stop/crash state after waking
+        if node.crash_count != ctx.restored_epoch:
+            run.restore_checkpoint(ctx)
+            continue
         yield from run.sweep(ctx, send_left_mid_sweep=True, exclusive=exclusive)
-        if ctx.node.stop_requested:
+        if node.stop_requested:
             break
+        if not node.alive or node.crash_count != ctx.restored_epoch:
+            continue  # the sweep was lost to a crash
         self_estimate = ctx.estimator.value()
         run.send_halo(ctx, "right", estimate=self_estimate, exclusive=exclusive)
 
@@ -454,15 +600,20 @@ def run_aiac(
     config: SolverConfig | None = None,
     *,
     host_order: list[int] | None = None,
+    injector: Any = None,
 ) -> RunResult:
     """Solve ``problem`` with the unbalanced AIAC algorithm (Algorithm 1).
 
     Every processor iterates on whatever halo data is available —
-    no waiting, no synchronisation.  Returns the :class:`RunResult`.
+    no waiting, no synchronisation.  ``injector`` optionally arms a
+    :class:`~repro.faults.injector.FaultInjector` (resilient transport +
+    fault schedule) against the run.  Returns the :class:`RunResult`.
     """
     run = build_chain(
         problem, platform, config, model="aiac", host_order=host_order
     )
+    if injector is not None:
+        injector.install(run)
     for ctx in run.ranks:
         run.sim.spawn(f"aiac-rank-{ctx.rank}", _aiac_process(run, ctx))
     run.run()

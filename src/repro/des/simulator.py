@@ -82,6 +82,28 @@ class Simulator:
             raise ValueError(f"delay must be >= 0, got {delay!r}")
         return self.schedule_at(self._now + delay, callback)
 
+    def at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``.
+
+        Like :meth:`schedule_at` but binds arguments without a closure
+        and names the offending callback when ``time`` lies in the past —
+        callers that compute event times (the fault injector, retry
+        timers) get a clear error instead of an event that would silently
+        corrupt the clock's monotonicity.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule {callback!r} in the past: "
+                f"time={time} < now={self._now}"
+            )
+        if not math.isfinite(time):
+            raise ValueError(
+                f"event time for {callback!r} must be finite, got {time!r}"
+            )
+        return self._queue.push_call(time, callback, args)
+
     # ------------------------------------------------------------------
     # Processes
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from repro.experiments.models_comparison import (
     ModelsComparisonResult,
     run_models_comparison,
 )
+from repro.experiments.resilience import ResilienceResult, run_resilience
 
 __all__ = [
     "run_figure5",
@@ -23,4 +24,6 @@ __all__ = [
     "TraceFiguresResult",
     "run_models_comparison",
     "ModelsComparisonResult",
+    "run_resilience",
+    "ResilienceResult",
 ]

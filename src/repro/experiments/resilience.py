@@ -1,0 +1,219 @@
+"""Resilience experiment: execution models under injected faults.
+
+The paper argues (§2, §6) that the coupling of asynchronism with
+decentralized load balancing is what makes iterative algorithms viable
+on an unreliable computational grid.  This experiment makes the
+unreliability explicit: every named fault schedule of
+:class:`~repro.workloads.scenarios.ResilienceScenario` (message loss,
+duplication/reordering, a crash with restart, a network partition, a
+host slowdown) is run under each execution model, and three things are
+recorded per run:
+
+* **time-to-convergence** in virtual seconds, plus its ratio to the same
+  model's fault-free (``none`` schedule) time — the degradation caused
+  by the faults;
+* **solution correctness** — the infinity-norm error against the heat
+  problem's sequential reference, so a run that "converges" to a wrong
+  answer is caught;
+* **fault/recovery accounting** — drops, retries, crashes/restarts,
+  failed sends, migrations and re-absorbed orphan blocks.
+
+The rows contain only virtual-time quantities, so the report's
+:func:`~repro.analysis.perf.stable_digest` is identical across repeated
+runs of the same scenario — the determinism guarantee CI checks by
+running the tiny sweep twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.analysis.perf import save_report, stable_digest
+from repro.analysis.reporting import format_table
+from repro.core.lb import run_balanced_aiac
+from repro.core.records import RunResult
+from repro.core.solver import run_aiac
+from repro.faults import FaultInjector
+from repro.models.siac import run_siac
+from repro.models.sisc import run_sisc
+from repro.workloads.scenarios import ResilienceScenario
+
+__all__ = ["ResilienceResult", "run_resilience"]
+
+#: Stat counters copied from the injector into each row, in report order.
+_STAT_COLUMNS = (
+    "messages_dropped",
+    "acks_dropped",
+    "duplicates_injected",
+    "reorders_injected",
+    "retries",
+    "sends_failed",
+    "crashes",
+    "restarts",
+)
+
+
+@dataclass(slots=True)
+class ResilienceResult:
+    """All rows of one resilience sweep plus the headline Gantt."""
+
+    scenario: ResilienceScenario
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    headline_gantt: str = ""
+
+    # ------------------------------------------------------------------
+    def baseline_time(self, model: str) -> float | None:
+        for row in self.rows:
+            if row["schedule"] == "none" and row["model"] == model:
+                return float(row["time"])
+        return None
+
+    def row(self, schedule: str, model: str) -> dict[str, Any] | None:
+        for row in self.rows:
+            if row["schedule"] == schedule and row["model"] == model:
+                return row
+        return None
+
+    def digest(self) -> str:
+        """Reproducibility fingerprint of the sweep (virtual time only)."""
+        return stable_digest({"rows": self.rows})
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "title": "resilience: execution models under injected faults",
+            "scenario": asdict(self.scenario),
+            "rows": self.rows,
+            "digest": self.digest(),
+        }
+
+    def save_json(self, path: str) -> None:
+        """Write ``BENCH_resilience.json`` (sorted keys, no wall-clock)."""
+        save_report(path, self.to_dict())
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        headers = [
+            "schedule", "model", "conv", "time (s)", "x clean",
+            "max err", "drops", "retries", "crash/rst", "migr", "reabs",
+        ]
+        table_rows = []
+        for row in self.rows:
+            base = self.baseline_time(row["model"])
+            ratio = (
+                f"{row['time'] / base:.2f}"
+                if base and row["schedule"] != "none"
+                else "-"
+            )
+            table_rows.append(
+                (
+                    row["schedule"],
+                    row["model"],
+                    "yes" if row["converged"] else "NO",
+                    row["time"],
+                    ratio,
+                    f"{row['max_error']:.2e}",
+                    row["messages_dropped"] + row["acks_dropped"],
+                    row["retries"],
+                    f"{row['crashes']}/{row['restarts']}",
+                    row["n_migrations"],
+                    row["reabsorbed"],
+                )
+            )
+        lines = [
+            "Resilience — fault schedules x execution models",
+            format_table(headers, table_rows),
+            f"digest: {self.digest()}",
+        ]
+        headline = self.row(self.scenario.headline, "aiac+lb")
+        if headline is not None:
+            status = "converged" if headline["converged"] else "DID NOT CONVERGE"
+            lines.append(
+                f"headline ({self.scenario.headline}, aiac+lb): {status} "
+                f"at t={headline['time']:.2f}s, "
+                f"max error {headline['max_error']:.2e}"
+            )
+        if self.headline_gantt:
+            lines.append(self.headline_gantt)
+        return "\n".join(lines)
+
+
+def _run_model(
+    model: str,
+    scenario: ResilienceScenario,
+    schedule_name: str,
+    *,
+    trace: bool = False,
+) -> tuple[RunResult, FaultInjector]:
+    """One solve of ``model`` under the named fault schedule.
+
+    Problem, platform and injector are built fresh per run: injectors
+    are single-use (they hold per-run RNG streams and counters) and the
+    platform's host/link state is mutated by timed faults.
+    """
+    problem = scenario.problem()
+    platform = scenario.platform()
+    config = scenario.solver_config(trace=trace)
+    injector = FaultInjector(scenario.schedule(schedule_name))
+    if model == "aiac+lb":
+        result = run_balanced_aiac(
+            problem, platform, config, scenario.lb_config(), injector=injector
+        )
+    elif model == "aiac":
+        result = run_aiac(problem, platform, config, injector=injector)
+    elif model == "siac":
+        result = run_siac(problem, platform, config, injector=injector)
+    elif model == "sisc":
+        result = run_sisc(problem, platform, config, injector=injector)
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    return result, injector
+
+
+def _make_row(
+    schedule_name: str,
+    model: str,
+    result: RunResult,
+    reference,
+    stats: dict[str, int],
+) -> dict[str, Any]:
+    row: dict[str, Any] = {
+        "schedule": schedule_name,
+        "model": model,
+        "converged": bool(result.converged),
+        "time": float(result.time),
+        "iterations": int(result.total_iterations),
+        "max_error": float(result.max_error_vs(reference)),
+        "n_migrations": int(result.n_migrations),
+        "reabsorbed": int(result.meta.get("reabsorbed", 0)),
+        "offers_timed_out": int(result.meta.get("offers_timed_out", 0)),
+    }
+    for key in _STAT_COLUMNS:
+        row[key] = int(stats.get(key, 0))
+    return row
+
+
+def run_resilience(
+    scenario: ResilienceScenario | None = None,
+) -> ResilienceResult:
+    """Run the resilience sweep; ``ResilienceScenario.tiny()`` for CI."""
+    scenario = scenario if scenario is not None else ResilienceScenario()
+    reference = scenario.problem().reference_solution()
+    out = ResilienceResult(scenario=scenario)
+    for schedule_name in scenario.schedule_names:
+        for model in scenario.models:
+            # The headline run is re-traced below; sweep runs stay lean.
+            result, injector = _run_model(model, scenario, schedule_name)
+            out.rows.append(
+                _make_row(
+                    schedule_name, model, result, reference, injector.stats
+                )
+            )
+    if scenario.headline in scenario.schedule_names:
+        from repro.analysis.gantt import render_gantt
+
+        traced, _ = _run_model(
+            "aiac+lb", scenario, scenario.headline, trace=True
+        )
+        out.headline_gantt = render_gantt(traced, width=80)
+    return out

@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the grid simulation.
+
+``repro.faults`` models the failure modes of the paper's target
+environment — the computational grid, where "the network can be cut" and
+machines slow down or disappear — as declarative, seeded fault schedules
+compiled into DES events.  See ``docs/faults.md``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    FAULT_TYPES,
+    FaultSchedule,
+    HostCrash,
+    HostSlowdown,
+    LatencySpike,
+    LinkPartition,
+    MessageDuplication,
+    MessageLoss,
+    MessageReordering,
+    ResilienceConfig,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSchedule",
+    "ResilienceConfig",
+    "MessageLoss",
+    "MessageDuplication",
+    "MessageReordering",
+    "LinkPartition",
+    "HostCrash",
+    "HostSlowdown",
+    "LatencySpike",
+    "FAULT_TYPES",
+]

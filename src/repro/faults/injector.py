@@ -1,0 +1,349 @@
+"""Compile a :class:`~repro.faults.models.FaultSchedule` against a run.
+
+The :class:`FaultInjector` is the single object the runtime consults
+when fault injection is active.  It plays three roles:
+
+* **compiler** — :meth:`install` turns the schedule's timed faults
+  (crashes, slowdown ramps, latency spikes) into DES events that toggle
+  :class:`~repro.grid.host.Host` / :class:`~repro.grid.link.Link` /
+  :class:`~repro.runtime.node.GridNode` state, and spawns the heartbeat
+  processes that feed peer liveness;
+* **message filter** — :meth:`on_transmit` / :meth:`ack_dropped` decide,
+  per wire copy, whether a transmission is dropped, duplicated or
+  reordered (losses, duplication, reordering, partitions);
+* **transport policy** — :meth:`retry_timeout` draws the jittered
+  exponential-backoff retransmission timeouts used by
+  :class:`~repro.runtime.node.GridNode`.
+
+Every random draw comes from a named :class:`~repro.util.rng.RngTree`
+stream under the schedule's seed and happens inside a deterministically
+ordered DES event, so runs are byte-reproducible.  Injected fault events
+are recorded as :class:`~repro.runtime.tracer.FaultRecord` entries so the
+Gantt renderer can overlay them on the execution timeline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.faults.models import (
+    FaultSchedule,
+    HostCrash,
+    HostSlowdown,
+    LatencySpike,
+    LinkPartition,
+    MessageDuplication,
+    MessageLoss,
+    MessageReordering,
+)
+from repro.runtime.tracer import FaultRecord
+from repro.util.rng import RngTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.solver import ChainRun
+    from repro.runtime.message import Message
+    from repro.runtime.node import GridNode
+
+__all__ = ["FaultInjector"]
+
+#: Counters surfaced in resilience reports, in a fixed order.
+_STAT_KEYS = (
+    "messages_dropped",
+    "acks_dropped",
+    "duplicates_injected",
+    "reorders_injected",
+    "dropped_at_dead_host",
+    "retries",
+    "sends_failed",
+    "crashes",
+    "restarts",
+)
+
+
+class FaultInjector:
+    """Arms a :class:`FaultSchedule` against a :class:`ChainRun`.
+
+    Construct one injector per run (it keeps per-run RNG streams and
+    counters) and attach it with :meth:`install` *before* starting the
+    simulation::
+
+        run = build_chain(problem, platform, config, model="aiac")
+        FaultInjector(schedule).install(run)
+        ...spawn processes, run.run()
+
+    With an empty schedule the injector still switches every node onto
+    the resilient transport (acks, retries, sequence numbers,
+    heartbeats) — a useful overhead baseline.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self.resilience = schedule.resilience
+        self._rng = RngTree(schedule.seed).child("faults")
+        self._message_rng = self._rng.generator("messages")
+        self._ack_rng = self._rng.generator("acks")
+        self._crash_rng = self._rng.generator("crash-downtime")
+        self.stats: dict[str, int] = {key: 0 for key in _STAT_KEYS}
+        # Split the schedule by role once.
+        faults = schedule.faults
+        self._losses = [f for f in faults if isinstance(f, MessageLoss)]
+        self._dups = [f for f in faults if isinstance(f, MessageDuplication)]
+        self._reorders = [f for f in faults if isinstance(f, MessageReordering)]
+        self._partitions = [f for f in faults if isinstance(f, LinkPartition)]
+        self._timed = [
+            f
+            for f in faults
+            if isinstance(f, (HostCrash, HostSlowdown, LatencySpike))
+        ]
+        self.run: "ChainRun | None" = None
+        self.sim = None
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def install(self, run: "ChainRun") -> None:
+        """Attach to ``run``: wire nodes, compile events, start beacons."""
+        if self.run is not None:
+            raise RuntimeError("FaultInjector is already installed")
+        self.run = run
+        self.sim = run.sim
+        self.tracer = run.tracer
+        run.attach_injector(self)
+        self._validate_ranks(run.n_ranks)
+        for fault in self._timed:
+            self._compile_timed(fault)
+        for fault in self._partitions:
+            self.tracer.fault(
+                FaultRecord(
+                    kind="partition",
+                    time=fault.t0,
+                    t_end=fault.t1,
+                    rank=None,
+                    detail=(
+                        f"ranks {sorted(fault.ranks_a)} | "
+                        f"{sorted(fault.ranks_b)}"
+                    ),
+                )
+            )
+        period = self.resilience.heartbeat_period
+        for ctx in run.ranks:
+            peers = [
+                n.node
+                for n in (
+                    run.neighbor(ctx.rank, "left"),
+                    run.neighbor(ctx.rank, "right"),
+                )
+                if n is not None
+            ]
+            if peers:
+                run.sim.spawn(
+                    f"heartbeat-{ctx.rank}",
+                    ctx.node.heartbeat_process(peers, period),
+                )
+
+    def _validate_ranks(self, n_ranks: int) -> None:
+        for fault in self.schedule.faults:
+            ranks: tuple[int, ...] = ()
+            if isinstance(fault, (HostCrash, HostSlowdown)):
+                ranks = (fault.rank,)
+            elif isinstance(fault, LinkPartition):
+                ranks = fault.ranks_a + fault.ranks_b
+            for rank in ranks:
+                if not 0 <= rank < n_ranks:
+                    raise ValueError(
+                        f"{type(fault).__name__} names rank {rank}, but the "
+                        f"run has only ranks 0..{n_ranks - 1}"
+                    )
+
+    def _compile_timed(
+        self, fault: "HostCrash | HostSlowdown | LatencySpike"
+    ) -> None:
+        sim = self.sim
+        assert sim is not None and self.run is not None
+        if isinstance(fault, HostCrash):
+            sim.at(fault.at, self._crash, fault)
+        elif isinstance(fault, HostSlowdown):
+            host = self.run.ranks[fault.rank].node.host
+            base = host.speed
+            steps = fault.ramp_steps
+            span = fault.t1 - fault.t0
+            for k in range(1, steps + 1):
+                t = fault.t0 + span * (k - 1) / steps
+                factor = 1.0 - (1.0 - fault.factor) * k / steps
+                sim.at(t, self._set_speed, host, base * factor)
+            sim.at(fault.t1, self._set_speed, host, base)
+            self.tracer.fault(
+                FaultRecord(
+                    kind="slowdown",
+                    time=fault.t0,
+                    t_end=fault.t1,
+                    rank=fault.rank,
+                    detail=f"speed floor x{fault.factor:g} in {steps} step(s)",
+                )
+            )
+        else:  # LatencySpike
+            network = self.run.platform.network
+            links = []
+            if fault.sites is not None:
+                link = network.site_link(*fault.sites)
+                if link is None:
+                    raise ValueError(
+                        f"LatencySpike names unknown site pair {fault.sites!r}"
+                    )
+                links.append(link)
+            else:
+                links.append(network.default_link)
+                links.extend(link for _, link in network.iter_site_links())
+            # One link object may back several site pairs; spike each
+            # object exactly once.
+            unique = list({id(link): link for link in links}.values())
+            originals = [link.latency for link in unique]
+            sim.at(fault.t0, self._scale_latency, unique, fault.factor)
+            sim.at(fault.t1, self._restore_latency, unique, originals)
+            where = "all links" if fault.sites is None else "-".join(fault.sites)
+            self.tracer.fault(
+                FaultRecord(
+                    kind="latency_spike",
+                    time=fault.t0,
+                    t_end=fault.t1,
+                    rank=None,
+                    detail=f"{where} latency x{fault.factor:g}",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Timed-fault event callbacks
+    # ------------------------------------------------------------------
+    def _crash(self, fault: HostCrash) -> None:
+        assert self.run is not None and self.sim is not None
+        node = self.run.ranks[fault.rank].node
+        if not node.alive:
+            return  # already down; coincident crash is absorbed
+        node.alive = False
+        node.crash_count += 1
+        self.stats["crashes"] += 1
+        now = self.sim.now
+        downtime = fault.downtime
+        if isinstance(downtime, tuple):
+            lo, hi = downtime
+            downtime = lo + (hi - lo) * float(self._crash_rng.random())
+        if downtime is None:
+            t_end = math.inf
+            detail = "no restart"
+        else:
+            t_end = now + downtime
+            detail = f"restart after {downtime:.6g}s"
+            self.sim.at(t_end, self._restart, fault.rank)
+        self.tracer.fault(
+            FaultRecord(
+                kind="crash", time=now, t_end=t_end, rank=fault.rank,
+                detail=detail,
+            )
+        )
+
+    def _restart(self, rank: int) -> None:
+        assert self.run is not None and self.sim is not None
+        node = self.run.ranks[rank].node
+        if node.alive:
+            return
+        node.alive = True
+        self.stats["restarts"] += 1
+        now = self.sim.now
+        self.tracer.fault(
+            FaultRecord(kind="restart", time=now, t_end=now, rank=rank)
+        )
+        # Wake the rank's main process; it restores its last checkpoint
+        # (GridNode.crash_count != RankContext.restored_epoch) and
+        # resumes iterating.
+        node.restart_signal.trigger(self.sim)
+
+    @staticmethod
+    def _set_speed(host, speed: float) -> None:
+        host.speed = speed
+
+    @staticmethod
+    def _scale_latency(links, factor: float) -> None:
+        for link in links:
+            link.latency *= factor
+
+    @staticmethod
+    def _restore_latency(links, originals) -> None:
+        for link, latency in zip(links, originals):
+            link.latency = latency
+
+    # ------------------------------------------------------------------
+    # Message filtering (called by GridNode per transmission attempt)
+    # ------------------------------------------------------------------
+    def on_transmit(
+        self, src: "GridNode", dst: "GridNode", message: "Message"
+    ) -> list[float]:
+        """Fate of one transmission attempt.
+
+        Returns the list of wire copies to schedule, as extra arrival
+        delays: ``[]`` = dropped, ``[0.0]`` = normal, ``[0.0, 0.0]`` =
+        duplicated, a positive entry = reordered (delay added *after*
+        FIFO clamping, so the copy may overtake later traffic).
+        """
+        now = self.sim.now
+        for fault in self._partitions:
+            if fault.severs(src.rank, dst.rank, now):
+                self.stats["messages_dropped"] += 1
+                return []
+        rng = self._message_rng
+        kind = message.kind
+        for fault in self._losses:
+            if fault.matches(kind, now) and float(rng.random()) < fault.rate:
+                self.stats["messages_dropped"] += 1
+                return []
+        copies = [0.0]
+        for fault in self._dups:
+            if fault.matches(kind, now) and float(rng.random()) < fault.rate:
+                copies.append(0.0)
+                self.stats["duplicates_injected"] += 1
+        for fault in self._reorders:
+            if fault.matches(kind, now):
+                for i in range(len(copies)):
+                    if float(rng.random()) < fault.rate:
+                        copies[i] += float(rng.random()) * fault.max_extra_delay
+                        self.stats["reorders_injected"] += 1
+        return copies
+
+    def ack_dropped(
+        self, dst: "GridNode", src: "GridNode", message: "Message"
+    ) -> bool:
+        """Whether the ack for ``message`` (``dst`` back to ``src``) is lost.
+
+        Acks cross the same partitions and suffer the same *unfiltered*
+        losses as data (kind-restricted losses target payload kinds, not
+        the ack channel).  A lost ack forces a retransmission that the
+        receiver then suppresses as a duplicate.
+        """
+        now = self.sim.now
+        for fault in self._partitions:
+            if fault.severs(dst.rank, src.rank, now):
+                self.stats["acks_dropped"] += 1
+                return True
+        for fault in self._losses:
+            if (
+                fault.kinds is None
+                and fault.t0 <= now <= fault.t1
+                and float(self._ack_rng.random()) < fault.rate
+            ):
+                self.stats["acks_dropped"] += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Transport policy
+    # ------------------------------------------------------------------
+    def retry_timeout(self, rank: int, attempt: int) -> float:
+        """Jittered exponential backoff for attempt ``attempt`` of ``rank``."""
+        rc = self.resilience
+        u = float(self._rng.generator(f"retry/{rank}").random())
+        return rc.base_timeout * rc.backoff**attempt * (1.0 + rc.jitter * u)
+
+    def note_dropped_dead(self, message: "Message") -> None:
+        """A wire copy reached a crashed host and evaporated."""
+        self.stats["dropped_at_dead_host"] += 1

@@ -42,10 +42,28 @@ class Network:
         """Register a link for the directed pair ``src -> dst``."""
         self._pair_links[(src.name, dst.name)] = link
 
+    @staticmethod
+    def _site_key(site_a: str, site_b: str) -> tuple[str, str]:
+        """Canonical (order-independent) key for a site pair.
+
+        ``set_site_link`` / ``link_for`` must agree on the key whichever
+        way the caller names the two sites; storing the lexicographically
+        sorted pair makes registration and lookup symmetric by
+        construction (one entry per unordered pair).
+        """
+        return (site_a, site_b) if site_a <= site_b else (site_b, site_a)
+
     def set_site_link(self, site_a: str, site_b: str, link: Link) -> None:
         """Register a link for all pairs between two sites (both ways)."""
-        self._site_links[(site_a, site_b)] = link
-        self._site_links[(site_b, site_a)] = link
+        self._site_links[self._site_key(site_a, site_b)] = link
+
+    def site_link(self, site_a: str, site_b: str) -> Link | None:
+        """The registered link between two sites, if any (symmetric)."""
+        return self._site_links.get(self._site_key(site_a, site_b))
+
+    def iter_site_links(self) -> list[tuple[tuple[str, str], Link]]:
+        """All registered site-pair links, in deterministic key order."""
+        return sorted(self._site_links.items())
 
     def link_for(self, src: Host, dst: Host) -> Link:
         """Resolve the link used by ``src -> dst``.
@@ -55,7 +73,7 @@ class Network:
         pair = self._pair_links.get((src.name, dst.name))
         if pair is not None:
             return pair
-        site = self._site_links.get((src.site, dst.site))
+        site = self._site_links.get(self._site_key(src.site, dst.site))
         if site is not None:
             return site
         return self.default_link

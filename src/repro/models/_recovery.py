@@ -1,0 +1,96 @@
+"""Shared fault-recovery glue for the synchronous execution models.
+
+The synchronous models (SISC/SIAC) *cannot make progress* without every
+halo of the current iteration being delivered — unlike AIAC, where any
+sufficiently fresh state will do and the next sweep supersedes a lost
+message anyway.  Two failure modes need explicit recovery:
+
+* a halo transfer exhausts its retransmission budget (the receiver was
+  crashed for longer than the retry window) — the sender must start a
+  fresh transfer or the chain deadlocks (:func:`install_halo_resend`);
+* a crash rolls the receiver's halo state back to its checkpoint
+  *after* the neighbours' halos were delivered and acknowledged — the
+  transport owes nothing, the neighbours are parked in their wait
+  loops, and nobody will ever send the lost data again.  The recovered
+  rank therefore *pulls*: :func:`request_fresh_halos` asks each
+  neighbour to re-send its current boundary (receive handlers run
+  atomically even while the neighbour's main loop is blocked, exactly
+  like a PM2 handler thread).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.solver import ChainRun, RankContext
+    from repro.runtime.message import Message
+
+__all__ = ["install_sync_recovery", "request_fresh_halos"]
+
+_HALO_KINDS = ("halo_from_left", "halo_from_right")
+
+#: Pull-style recovery message: "re-send me your boundary facing me".
+HALO_REQUEST_KIND = "halo_request"
+
+
+def install_sync_recovery(run: "ChainRun") -> None:
+    """Wire the synchronous models' recovery hooks on every rank.
+
+    Only meaningful under a fault injector (failure handlers never fire
+    and requests are never sent on the lossless fast path).
+    """
+    for ctx in run.ranks:
+        for kind in _HALO_KINDS:
+            ctx.node.register_failure_handler(
+                kind, _make_resend(run, ctx, kind)
+            )
+        ctx.node.register_handler(
+            HALO_REQUEST_KIND,
+            lambda msg, c=ctx: _on_halo_request(run, c, msg),
+        )
+
+
+def request_fresh_halos(run: "ChainRun", ctx: "RankContext") -> None:
+    """Ask both neighbours to re-send their current boundary data.
+
+    Called right after a crash-restore: the restored halos may predate
+    deliveries the transport already acknowledged, and blocked
+    neighbours will not send again on their own.
+    """
+    for side in ("left", "right"):
+        neighbor = run.neighbor(ctx.rank, side)
+        if neighbor is not None:
+            ctx.node.send(
+                neighbor.node,
+                HALO_REQUEST_KIND,
+                None,
+                run.config.header_bytes,
+            )
+
+
+def _on_halo_request(run: "ChainRun", ctx: "RankContext", msg: "Message") -> None:
+    side = "right" if msg.src_rank > ctx.rank else "left"
+    run.send_halo(
+        ctx, side, estimate=ctx.estimator.value(), exclusive=False
+    )
+
+
+def _make_resend(run: "ChainRun", ctx: "RankContext", kind: str):
+    """Halo failure handler: re-send until delivered.
+
+    A payload superseded by a newer send on the same channel is *not*
+    re-sent: delivering old state with a fresh sequence number would
+    defeat the newest-wins stale rejection.
+    """
+
+    def resend(message: "Message", delivered: bool) -> None:
+        node = ctx.node
+        if delivered or node.stop_requested or not node.alive:
+            return
+        if not node.is_latest_send(message):
+            return  # a fresher halo superseded this payload
+        dst = run.ranks[message.dst_rank].node
+        node.send(dst, message.kind, message.payload, message.size_bytes)
+
+    return resend

@@ -26,6 +26,14 @@ class Message:
         Logical ranks in the solver's chain organization.
     send_time, arrival_time:
         Virtual timestamps, filled in by the runtime.
+    seq:
+        Per-channel sequence number stamped by the resilient transport
+        (monotonic per ``(kind, src, dst)``); receivers use it for
+        duplicate suppression and newest-wins stale rejection.  Always 0
+        on the lossless fast path.
+    attempt:
+        Transmission attempt (0 = first send, >0 = retransmissions by
+        the resilient transport).
     """
 
     kind: str
@@ -35,3 +43,5 @@ class Message:
     dst_rank: int
     send_time: float = 0.0
     arrival_time: float = 0.0
+    seq: int = 0
+    attempt: int = 0

@@ -22,6 +22,7 @@ __all__ = [
     "MessageRecord",
     "MigrationRecord",
     "ResidualRecord",
+    "FaultRecord",
     "Tracer",
 ]
 
@@ -82,6 +83,22 @@ class ResidualRecord:
     n_local: int
 
 
+@dataclass(slots=True, frozen=True)
+class FaultRecord:
+    """One injected fault event (crash, restart, partition window, …).
+
+    ``rank`` is the affected rank, or ``None`` for platform-wide faults
+    (e.g. a network partition).  ``t_end`` closes the fault's window;
+    instantaneous events use ``t_end == time``.
+    """
+
+    kind: str
+    time: float
+    t_end: float
+    rank: int | None = None
+    detail: str = ""
+
+
 class Tracer:
     """Accumulates execution records for one run.
 
@@ -97,6 +114,7 @@ class Tracer:
         self.messages: list[MessageRecord] = []
         self.migrations: list[MigrationRecord] = []
         self.residuals: list[ResidualRecord] = []
+        self.faults: list[FaultRecord] = []
 
     # Recording -----------------------------------------------------------
     def iteration(self, span: IterationSpan) -> None:
@@ -119,6 +137,11 @@ class Tracer:
     def residual(self, record: ResidualRecord) -> None:
         if self.enabled:
             self.residuals.append(record)
+
+    def fault(self, record: FaultRecord) -> None:
+        # Fault events are rare and central to the resilience
+        # experiments: record them even when detailed tracing is off.
+        self.faults.append(record)
 
     # Convenience queries ---------------------------------------------------
     def iterations_of(self, rank: int) -> list[IterationSpan]:

@@ -5,6 +5,7 @@ from repro.workloads.scenarios import (
     Table1Scenario,
     ModelsComparisonScenario,
     TraceFigureScenario,
+    ResilienceScenario,
 )
 
 __all__ = [
@@ -12,4 +13,5 @@ __all__ = [
     "Table1Scenario",
     "ModelsComparisonScenario",
     "TraceFigureScenario",
+    "ResilienceScenario",
 ]

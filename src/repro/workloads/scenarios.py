@@ -36,6 +36,7 @@ __all__ = [
     "Table1Scenario",
     "ModelsComparisonScenario",
     "TraceFigureScenario",
+    "ResilienceScenario",
 ]
 
 
@@ -244,6 +245,185 @@ class ModelsComparisonScenario:
     def solver_config(self, *, trace: bool = False) -> SolverConfig:
         return SolverConfig(
             tolerance=self.tolerance, max_iterations=200_000, trace=trace
+        )
+
+
+@dataclass(frozen=True)
+class ResilienceScenario:
+    """Fault-injection sweep: AIAC+LB vs AIAC vs SIAC vs SISC under faults.
+
+    The heat problem drives the numerics because it has an exact
+    sequential reference, so every faulted run's *solution correctness*
+    (not just its convergence flag) is checked against ground truth.
+    The platform is a homogeneous cluster: any time difference between
+    the ``none`` schedule and a faulted one is then attributable to the
+    faults and the recovery machinery alone, not to heterogeneity.
+
+    Every named schedule shares one :class:`ResilienceConfig` (tuned so
+    retransmissions and liveness detection resolve within a few virtual
+    seconds at this problem scale) and the scenario seed, so the whole
+    sweep is byte-reproducible.
+    """
+
+    seed: int = 42
+    n_points: int = 48
+    t_end: float = 0.05
+    n_steps: int = 12
+    n_procs: int = 4
+    host_speed: float = 2000.0
+    tolerance: float = 1e-7
+    max_time: float = 5000.0
+    #: Message-fault intensities.
+    loss_low: float = 0.10
+    loss_high: float = 0.30
+    dup_rate: float = 0.10
+    reorder_rate: float = 0.20
+    reorder_delay: float = 0.5
+    #: Timed faults (virtual seconds).
+    crash_rank: int = 2
+    crash_at: float = 3.0
+    crash_downtime: tuple[float, float] = (1.5, 2.5)
+    partition_window: tuple[float, float] = (6.0, 9.0)
+    slowdown_window: tuple[float, float] = (4.0, 14.0)
+    slowdown_factor: float = 0.25
+    #: Which schedules the sweep runs (subset of ``SCHEDULE_BUILDERS``).
+    schedule_names: tuple[str, ...] = (
+        "none",
+        "loss10",
+        "loss30",
+        "dup+reorder",
+        "crash",
+        "loss10+crash",
+        "partition",
+        "slowdown",
+    )
+    models: tuple[str, ...] = ("aiac+lb", "aiac", "siac", "sisc")
+    #: The schedule whose AIAC+LB run headlines the report (Gantt + the
+    #: acceptance check "converges correctly under loss + crash").
+    headline: str = "loss10+crash"
+
+    def problem(self):
+        from repro.problems.heat import HeatProblem
+
+        return HeatProblem(
+            self.n_points, t_end=self.t_end, n_steps=self.n_steps
+        )
+
+    def platform(self) -> Platform:
+        return homogeneous_cluster(self.n_procs, speed=self.host_speed)
+
+    def solver_config(self, *, trace: bool = False) -> SolverConfig:
+        return SolverConfig(
+            tolerance=self.tolerance,
+            max_iterations=200_000,
+            max_time=self.max_time,
+            trace=trace,
+        )
+
+    def lb_config(self) -> LBConfig:
+        return LBConfig(
+            period=5,
+            threshold_ratio=2.0,
+            min_components=2,
+            accuracy=1.0,
+            max_fraction=0.5,
+        )
+
+    def resilience(self):
+        from repro.faults.models import ResilienceConfig
+
+        # base_timeout models a conservative TCP-like RTO on the LAN
+        # (~250x the 0.2ms round trip): a dropped halo is retransmitted
+        # within ~1-2 sweeps, so loss degrades throughput without
+        # freezing boundary data for long stretches.
+        return ResilienceConfig(
+            base_timeout=0.05,
+            heartbeat_period=1.0,
+            liveness_timeout=3.0,
+            checkpoint_every=20,
+        )
+
+    # ------------------------------------------------------------------
+    def faults_for(self, name: str) -> tuple:
+        """The fault models of one named schedule."""
+        from repro.faults.models import (
+            HostCrash,
+            HostSlowdown,
+            LinkPartition,
+            MessageDuplication,
+            MessageLoss,
+            MessageReordering,
+        )
+
+        half = self.n_procs // 2
+        crash = HostCrash(
+            rank=self.crash_rank, at=self.crash_at,
+            downtime=self.crash_downtime,
+        )
+        builders: dict[str, tuple] = {
+            "none": (),
+            "loss10": (MessageLoss(self.loss_low),),
+            "loss30": (MessageLoss(self.loss_high),),
+            "dup+reorder": (
+                MessageDuplication(self.dup_rate),
+                MessageReordering(
+                    self.reorder_rate, max_extra_delay=self.reorder_delay
+                ),
+            ),
+            "crash": (crash,),
+            "loss10+crash": (MessageLoss(self.loss_low), crash),
+            "partition": (
+                LinkPartition(
+                    t0=self.partition_window[0],
+                    t1=self.partition_window[1],
+                    ranks_a=tuple(range(half)),
+                    ranks_b=tuple(range(half, self.n_procs)),
+                ),
+            ),
+            "slowdown": (
+                HostSlowdown(
+                    rank=self.crash_rank,
+                    t0=self.slowdown_window[0],
+                    t1=self.slowdown_window[1],
+                    factor=self.slowdown_factor,
+                    ramp_steps=4,
+                ),
+            ),
+        }
+        if name not in builders:
+            raise ValueError(
+                f"unknown schedule {name!r}; choose from {sorted(builders)}"
+            )
+        return builders[name]
+
+    def schedule(self, name: str):
+        """Build one named :class:`FaultSchedule` (fresh object per call)."""
+        from repro.faults.models import FaultSchedule
+
+        return FaultSchedule(
+            faults=self.faults_for(name),
+            seed=self.seed,
+            resilience=self.resilience(),
+        )
+
+    def schedules(self) -> dict:
+        return {name: self.schedule(name) for name in self.schedule_names}
+
+    @classmethod
+    def quick(cls) -> "ResilienceScenario":
+        """Reduced sweep for fast CLI runs: the headline contrast only."""
+        return cls(
+            schedule_names=("none", "loss10", "crash", "loss10+crash"),
+        )
+
+    @classmethod
+    def tiny(cls) -> "ResilienceScenario":
+        """Smallest instance (CI smoke): clean baseline + loss-and-crash."""
+        return cls(
+            n_points=32,
+            n_steps=8,
+            tolerance=1e-6,
+            schedule_names=("none", "loss10+crash"),
         )
 
 

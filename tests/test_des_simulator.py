@@ -218,3 +218,37 @@ def test_run_until_signal_horizon_miss():
     fired = sim.run_until_signal(sig, horizon=1.0)
     assert not fired
     assert sim.now == 1.0
+
+
+def test_at_binds_args_and_runs_at_time():
+    sim = Simulator()
+    calls = []
+    sim.at(3.0, lambda x, y: calls.append((sim.now, x, y)), "a", 7)
+    sim.run()
+    assert calls == [(3.0, "a", 7)]
+
+
+def test_at_rejects_past_and_non_finite_times():
+    sim = Simulator()
+
+    def advance(sim):
+        yield Hold(5.0)
+
+    sim.spawn("p", advance(sim))
+    sim.run()
+    with pytest.raises(ValueError, match="past"):
+        sim.at(4.0, lambda: None)
+    with pytest.raises(ValueError, match="finite"):
+        sim.at(float("inf"), lambda: None)
+    with pytest.raises(ValueError, match="finite"):
+        sim.at(float("nan"), lambda: None)
+
+
+def test_at_event_is_cancellable():
+    sim = Simulator()
+    calls = []
+    event = sim.at(1.0, calls.append, "doomed")
+    sim.at(2.0, calls.append, "kept")
+    event.cancel()
+    sim.run()
+    assert calls == ["kept"]

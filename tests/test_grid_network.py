@@ -85,3 +85,16 @@ def test_network_accounting():
     net.arrival_time(a, b, 200.0, 0.0)
     assert net.bytes_sent == 300.0
     assert net.messages_sent == 2
+
+
+def test_site_link_key_is_symmetric():
+    a, b, c = make_hosts()
+    net = Network(Link(latency=0.0, bandwidth=1.0))
+    fast = Link(latency=0.001, bandwidth=1e9)
+    net.set_site_link("s1", "s2", fast)
+    # Lookup and registration must agree regardless of argument order.
+    assert net.site_link("s2", "s1") is fast
+    assert net.site_link("s1", "s2") is fast
+    slow = Link(latency=0.5, bandwidth=1.0)
+    net.set_site_link("s2", "s1", slow)  # overwrite via the flipped key
+    assert net.site_link("s1", "s2") is slow
