@@ -8,6 +8,8 @@ Usage::
     python -m repro models
     python -m repro resilience [--full] [--json BENCH_resilience.json]
     python -m repro ablations [--only period,estimator,...]
+    python -m repro metrics figure5 [--tiny|--full] [--out PREFIX] [--profile]
+    python -m repro trace figure5 [--tiny|--full] [--out PREFIX] [--profile]
     python -m repro solve --problem brusselator --ranks 4 --lb [--gantt]
     python -m repro list
 
@@ -70,6 +72,50 @@ def _resilience(args: argparse.Namespace) -> str:
         result.save_json(args.json)
         report += f"\nresilience report written to {args.json}"
     return report
+
+
+def _obs_mode(args: argparse.Namespace) -> str:
+    if args.full:
+        return "full"
+    if args.tiny:
+        return "tiny"
+    return "quick"
+
+
+def _metrics(args: argparse.Namespace) -> str:
+    """``repro metrics``: run an experiment, emit its metrics sidecar."""
+    from repro.obs import run_observed
+
+    obs = run_observed(
+        args.experiment,
+        mode=_obs_mode(args),
+        profile=args.profile,
+        with_trace=not args.no_trace,
+    )
+    lines = [obs.report()]
+    for path, info in obs.write(args.out).items():
+        lines.append(f"wrote {path} ({info})")
+    return "\n".join(lines)
+
+
+def _trace(args: argparse.Namespace) -> str:
+    """``repro trace``: like ``metrics`` but leads with the trace info."""
+    from repro.obs import run_observed
+
+    obs = run_observed(
+        args.experiment, mode=_obs_mode(args), profile=args.profile
+    )
+    written = obs.write(args.out)
+    lines = [
+        f"traced headline run: {obs.traced_label}",
+        "open the .trace.json file at https://ui.perfetto.dev "
+        "(or chrome://tracing)",
+    ]
+    for path, info in written.items():
+        lines.append(f"wrote {path} ({info})")
+    if obs.profiler is not None:
+        lines.append(obs.profiler.summary())
+    return "\n".join(lines)
 
 
 _ABLATIONS: dict[str, str] = {
@@ -180,6 +226,8 @@ def _list(args: argparse.Namespace) -> str:
             "models       cluster vs grid model comparison (paper §6)",
             "resilience   execution models under injected faults",
             f"ablations    design-knob sweeps: {', '.join(sorted(_ABLATIONS))}",
+            "metrics      experiment run with a metrics sidecar (repro.obs)",
+            "trace        experiment run exported as a Perfetto trace",
         ]
     )
 
@@ -227,6 +275,48 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="also write the report (rows + digest) to this JSON file",
     )
+
+    for name, fn, helptext in [
+        (
+            "metrics",
+            _metrics,
+            "run an experiment and emit its metrics sidecar (+ trace)",
+        ),
+        (
+            "trace",
+            _trace,
+            "run an experiment and emit a Perfetto-viewable Chrome trace",
+        ),
+    ]:
+        obs_cmd = sub.add_parser(name, help=helptext)
+        obs_cmd.set_defaults(handler=fn)
+        obs_cmd.add_argument(
+            "experiment",
+            choices=("figure5", "table1", "resilience"),
+            help="which experiment to observe",
+        )
+        obs_cmd.add_argument(
+            "--tiny", action="store_true", help="smallest instance (CI smoke)"
+        )
+        obs_cmd.add_argument(
+            "--full", action="store_true", help="paper-scale run (minutes)"
+        )
+        obs_cmd.add_argument(
+            "--out",
+            default="obs",
+            help="output prefix: writes PREFIX.metrics.jsonl + PREFIX.trace.json",
+        )
+        obs_cmd.add_argument(
+            "--profile",
+            action="store_true",
+            help="attach the DES profiler to the traced headline run",
+        )
+        if name == "metrics":
+            obs_cmd.add_argument(
+                "--no-trace",
+                action="store_true",
+                help="skip the traced headline run (metrics sidecar only)",
+            )
 
     ablation_cmd = sub.add_parser("ablations")
     ablation_cmd.set_defaults(handler=_ablations)

@@ -570,6 +570,7 @@ def run_balanced_aiac(
     *,
     host_order: list[int] | None = None,
     injector: Any = None,
+    profiler: Any = None,
 ) -> RunResult:
     """Solve with AIAC coupled to decentralized dynamic load balancing.
 
@@ -578,7 +579,9 @@ def run_balanced_aiac(
     neighbour-local migration protocol of Algorithms 4–7.  ``injector``
     optionally arms a :class:`~repro.faults.injector.FaultInjector`
     against the run (installed after the LB estimators are wired, so the
-    seeded checkpoints snapshot the configured estimator).
+    seeded checkpoints snapshot the configured estimator); ``profiler``
+    optionally attaches a :class:`~repro.obs.profile.SimProfiler` to the
+    DES kernel.
     """
     run = build_chain(
         problem, platform, config, model="aiac+lb", host_order=host_order
@@ -586,6 +589,8 @@ def run_balanced_aiac(
     balanced = _BalancedRun(run, lb_config if lb_config is not None else LBConfig())
     if injector is not None:
         injector.install(run)
+    if profiler is not None:
+        run.sim.attach_profiler(profiler)
     for ctx in run.ranks:
         run.sim.spawn(f"lb-rank-{ctx.rank}", _balanced_process(balanced, ctx))
     run.run()
@@ -595,4 +600,18 @@ def run_balanced_aiac(
     result.meta["offers_timed_out"] = sum(s.offers_timed_out for s in balanced.lb)
     result.meta["reabsorbed"] = sum(s.reabsorbed for s in balanced.lb)
     result.meta["final_sizes"] = run.partition.sizes()
+    # Per-rank protocol counters + final load-estimator values, for the
+    # metrics sidecar (repro.obs) and post-hoc imbalance analysis.
+    result.meta["lb_rank_stats"] = [
+        {
+            "rank": ctx.rank,
+            "offers_sent": s.offers_sent,
+            "offers_rejected": s.offers_rejected,
+            "offers_timed_out": s.offers_timed_out,
+            "migrations_out": s.migrations_out,
+            "reabsorbed": s.reabsorbed,
+            "final_estimate": ctx.estimator.value(),
+        }
+        for ctx, s in zip(run.ranks, balanced.lb)
+    ]
     return result

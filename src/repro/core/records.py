@@ -108,7 +108,9 @@ class RunResult:
             "residuals_at_stop": list(self.residuals_at_stop),
             "n_migrations": self.n_migrations,
             "components_migrated": self.components_migrated,
-            "n_messages": len(self.tracer.messages),
+            # Always-on tracer aggregate: correct even for untraced runs
+            # (the messages list is empty when tracing is disabled).
+            "n_messages": self.tracer.n_messages(),
             "meta": {
                 k: v
                 for k, v in self.meta.items()

@@ -110,6 +110,10 @@ class ChainRun:
         # copy replays the same seeded traces from t = 0).
         self.platform = copy.deepcopy(platform)
         platform = self.platform
+        # The deep copy inherits whatever FIFO clamps / traffic counters
+        # the caller's platform accumulated; start this run from a clean
+        # network regardless.
+        platform.network.reset()
         self.config = config
         self.model = model
         n_ranks = len(platform.hosts)
@@ -523,9 +527,9 @@ class ChainRun:
             converged=converged,
             time=time,
             iterations=[c.iteration for c in self.ranks],
-            work=[self.tracer.busy_time_of(c.rank) for c in self.ranks]
-            if self.tracer.enabled
-            else [0.0] * self.n_ranks,
+            # busy_time_of reads the tracer's always-on aggregates, so
+            # untraced sweep runs now report real per-rank work too.
+            work=[self.tracer.busy_time_of(c.rank) for c in self.ranks],
             solution_blocks=[self.problem.solution(c.state) for c in blocks],
             final_partition=[(c.lo, c.hi) for c in self.ranks],
             residuals_at_stop=[c.residual for c in self.ranks],
@@ -546,8 +550,35 @@ class ChainRun:
                 # Network totals (this run's private platform copy).
                 "network_bytes": self.platform.network.bytes_sent,
                 "network_messages": self.platform.network.messages_sent,
+                # Per-rank transport counters (all zeros on the lossless
+                # fast path; populated under the resilient transport).
+                "transport_per_rank": [
+                    {
+                        "rank": c.rank,
+                        "retries": c.node.retries,
+                        "sends_failed": c.node.sends_failed,
+                        "duplicates_suppressed": c.node.duplicates_suppressed,
+                        "stale_rejected": c.node.stale_rejected,
+                        "crashes": c.node.crash_count,
+                    }
+                    for c in self.ranks
+                ],
             },
         )
+
+    def export_metrics(self, registry: Any, **labels) -> None:
+        """Scrape every instrumented component of this run into ``registry``.
+
+        Pulls the tracer aggregates, per-rank transport counters, the
+        network traffic totals and (when attached) the fault injector's
+        counters.  Purely a read — calling it never perturbs the run.
+        """
+        self.tracer.export_metrics(registry, **labels)
+        for ctx in self.ranks:
+            ctx.node.export_metrics(registry, **labels)
+        self.platform.network.export_metrics(registry, **labels)
+        if self.injector is not None:
+            self.injector.export_metrics(registry, **labels)
 
 
 def build_chain(
@@ -601,19 +632,25 @@ def run_aiac(
     *,
     host_order: list[int] | None = None,
     injector: Any = None,
+    profiler: Any = None,
 ) -> RunResult:
     """Solve ``problem`` with the unbalanced AIAC algorithm (Algorithm 1).
 
     Every processor iterates on whatever halo data is available —
     no waiting, no synchronisation.  ``injector`` optionally arms a
     :class:`~repro.faults.injector.FaultInjector` (resilient transport +
-    fault schedule) against the run.  Returns the :class:`RunResult`.
+    fault schedule) against the run; ``profiler`` optionally attaches a
+    :class:`~repro.obs.profile.SimProfiler` to the DES kernel (the event
+    trace is bit-identical with or without it).  Returns the
+    :class:`RunResult`.
     """
     run = build_chain(
         problem, platform, config, model="aiac", host_order=host_order
     )
     if injector is not None:
         injector.install(run)
+    if profiler is not None:
+        run.sim.attach_profiler(profiler)
     for ctx in run.ranks:
         run.sim.spawn(f"aiac-rank-{ctx.rank}", _aiac_process(run, ctx))
     run.run()

@@ -53,6 +53,19 @@ class Simulator:
         self._stop_requested = False
         self._failure: tuple[Process | None, BaseException] | None = None
         self.processes: list[Process] = []
+        #: Optional dispatch observer (see :meth:`attach_profiler`).
+        self.profiler: Any = None
+
+    def attach_profiler(self, profiler: Any) -> "Simulator":
+        """Attach a profiler whose ``record(event)`` sees every dispatch.
+
+        The profiler observes each event *before* its callback runs; it
+        must not mutate simulation state.  When no profiler is attached
+        (the default) the event loop takes a separate branch with zero
+        per-event overhead.  Returns ``self`` for chaining.
+        """
+        self.profiler = profiler
+        return self
 
     # ------------------------------------------------------------------
     # Clock and scheduling
@@ -150,6 +163,7 @@ class Simulator:
         queue = self._queue
         peek_time = queue.peek_time
         pop_at = queue.pop_at
+        profiler = self.profiler
         try:
             while not self._stop_requested:
                 next_time = peek_time()
@@ -163,18 +177,33 @@ class Simulator:
                 # (still in scheduling order — pop_at preserves the
                 # (time, seq) total order) without re-checking the
                 # horizon per event.  stop() keeps its "stop after the
-                # current event" semantics via the inner check.
+                # current event" semantics via the inner check.  The
+                # loop is duplicated so the profiler-off path carries no
+                # per-event branch at all.
                 event = pop_at(next_time)
-                while event is not None:
-                    try:
-                        event.callback(*event.args)
-                    except BaseException as exc:  # noqa: BLE001 - rewrapped below
-                        self._failure = (None, exc)
-                        self._stop_requested = True
-                        break
-                    if self._stop_requested:
-                        break
-                    event = pop_at(next_time)
+                if profiler is None:
+                    while event is not None:
+                        try:
+                            event.callback(*event.args)
+                        except BaseException as exc:  # noqa: BLE001 - rewrapped below
+                            self._failure = (None, exc)
+                            self._stop_requested = True
+                            break
+                        if self._stop_requested:
+                            break
+                        event = pop_at(next_time)
+                else:
+                    while event is not None:
+                        profiler.record(event)
+                        try:
+                            event.callback(*event.args)
+                        except BaseException as exc:  # noqa: BLE001 - rewrapped below
+                            self._failure = (None, exc)
+                            self._stop_requested = True
+                            break
+                        if self._stop_requested:
+                            break
+                        event = pop_at(next_time)
         finally:
             self._running = False
         if self._failure is not None:

@@ -81,8 +81,15 @@ class Figure5Result:
         )
 
 
-def run_figure5(scenario: Figure5Scenario | None = None) -> Figure5Result:
-    """Run the full Figure 5 sweep; use ``Figure5Scenario.quick()`` for CI."""
+def run_figure5(
+    scenario: Figure5Scenario | None = None, *, sidecar=None
+) -> Figure5Result:
+    """Run the full Figure 5 sweep; use ``Figure5Scenario.quick()`` for CI.
+
+    ``sidecar`` optionally attaches a
+    :class:`~repro.obs.harness.MetricsSidecar`: every run's metrics are
+    scraped into it under ``run="p{p}/{version}"`` labels.
+    """
     scenario = scenario if scenario is not None else Figure5Scenario()
     result = Figure5Result(
         proc_counts=list(scenario.proc_counts),
@@ -102,6 +109,9 @@ def run_figure5(scenario: Figure5Scenario | None = None) -> Figure5Result:
                 f"figure5 run did not converge at p={p}: "
                 f"unbalanced={unbalanced.converged}, balanced={balanced.converged}"
             )
+        if sidecar is not None:
+            sidecar.collect(unbalanced, run=f"p{p}/unbalanced")
+            sidecar.collect(balanced, run=f"p{p}/balanced")
         result.time_unbalanced.append(unbalanced.time)
         result.time_balanced.append(balanced.time)
         result.migrations.append(balanced.n_migrations)

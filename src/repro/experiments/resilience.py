@@ -144,12 +144,15 @@ def _run_model(
     schedule_name: str,
     *,
     trace: bool = False,
+    profiler=None,
 ) -> tuple[RunResult, FaultInjector]:
     """One solve of ``model`` under the named fault schedule.
 
     Problem, platform and injector are built fresh per run: injectors
     are single-use (they hold per-run RNG streams and counters) and the
-    platform's host/link state is mutated by timed faults.
+    platform's host/link state is mutated by timed faults.  ``profiler``
+    optionally attaches a :class:`~repro.obs.profile.SimProfiler`
+    (AIAC models only — the synchronous drivers take no profiler).
     """
     problem = scenario.problem()
     platform = scenario.platform()
@@ -157,10 +160,13 @@ def _run_model(
     injector = FaultInjector(scenario.schedule(schedule_name))
     if model == "aiac+lb":
         result = run_balanced_aiac(
-            problem, platform, config, scenario.lb_config(), injector=injector
+            problem, platform, config, scenario.lb_config(),
+            injector=injector, profiler=profiler,
         )
     elif model == "aiac":
-        result = run_aiac(problem, platform, config, injector=injector)
+        result = run_aiac(
+            problem, platform, config, injector=injector, profiler=profiler
+        )
     elif model == "siac":
         result = run_siac(problem, platform, config, injector=injector)
     elif model == "sisc":
@@ -194,9 +200,15 @@ def _make_row(
 
 
 def run_resilience(
-    scenario: ResilienceScenario | None = None,
+    scenario: ResilienceScenario | None = None, *, sidecar=None
 ) -> ResilienceResult:
-    """Run the resilience sweep; ``ResilienceScenario.tiny()`` for CI."""
+    """Run the resilience sweep; ``ResilienceScenario.tiny()`` for CI.
+
+    ``sidecar`` optionally attaches a
+    :class:`~repro.obs.harness.MetricsSidecar`: every sweep run's
+    metrics (including the injector's counters) are scraped into it
+    under ``run="{schedule}/{model}"`` labels.
+    """
     scenario = scenario if scenario is not None else ResilienceScenario()
     reference = scenario.problem().reference_solution()
     out = ResilienceResult(scenario=scenario)
@@ -204,6 +216,12 @@ def run_resilience(
         for model in scenario.models:
             # The headline run is re-traced below; sweep runs stay lean.
             result, injector = _run_model(model, scenario, schedule_name)
+            if sidecar is not None:
+                sidecar.collect(
+                    result,
+                    run=f"{schedule_name}/{model}",
+                    injector=injector,
+                )
             out.rows.append(
                 _make_row(
                     schedule_name, model, result, reference, injector.stats

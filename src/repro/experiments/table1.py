@@ -63,8 +63,14 @@ class Table1Result:
         )
 
 
-def run_table1(scenario: Table1Scenario | None = None) -> Table1Result:
-    """Run the Table 1 experiment (use ``Table1Scenario.quick()`` for CI)."""
+def run_table1(
+    scenario: Table1Scenario | None = None, *, sidecar=None
+) -> Table1Result:
+    """Run the Table 1 experiment (use ``Table1Scenario.quick()`` for CI).
+
+    ``sidecar`` optionally attaches a
+    :class:`~repro.obs.harness.MetricsSidecar` scraping both runs.
+    """
     scenario = scenario if scenario is not None else Table1Scenario()
     platform = scenario.platform()
     order = scenario.host_order(platform)
@@ -84,6 +90,9 @@ def run_table1(scenario: Table1Scenario | None = None) -> Table1Result:
             f"table1 run did not converge: unbalanced={unbalanced.converged}, "
             f"balanced={balanced.converged}"
         )
+    if sidecar is not None:
+        sidecar.collect(unbalanced, run="unbalanced")
+        sidecar.collect(balanced, run="balanced")
     return Table1Result(
         time_unbalanced=unbalanced.time,
         time_balanced=balanced.time,

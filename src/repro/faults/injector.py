@@ -42,6 +42,7 @@ from repro.util.rng import RngTree
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.solver import ChainRun
+    from repro.obs.registry import MetricsRegistry
     from repro.runtime.message import Message
     from repro.runtime.node import GridNode
 
@@ -343,6 +344,15 @@ class FaultInjector:
         rc = self.resilience
         u = float(self._rng.generator(f"retry/{rank}").random())
         return rc.base_timeout * rc.backoff**attempt * (1.0 + rc.jitter * u)
+
+    def export_metrics(self, registry: "MetricsRegistry", **labels) -> None:
+        """Publish the injector's counters into a metrics registry.
+
+        Every key of :data:`_STAT_KEYS` is exported (zeros included) so
+        snapshots keep the same shape whether or not faults fired.
+        """
+        for key in _STAT_KEYS:
+            registry.counter(f"faults.{key}", **labels).add(self.stats[key])
 
     def note_dropped_dead(self, message: "Message") -> None:
         """A wire copy reached a crashed host and evaporated."""

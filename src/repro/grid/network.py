@@ -13,8 +13,13 @@ paper's runtime (PM2 over TCP) provided.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.grid.host import Host
 from repro.grid.link import Link
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["Network"]
 
@@ -92,3 +97,28 @@ class Network:
         self.bytes_sent += nbytes
         self.messages_sent += 1
         return arrival
+
+    # ------------------------------------------------------------------
+    # Lifecycle / export
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear per-run delivery state and traffic counters.
+
+        The FIFO clamp state (``_last_arrival``) and the traffic
+        counters otherwise leak from one run into the next when a
+        platform object is reused: the second run's first message on a
+        channel would be clamped behind the *previous run's* last
+        arrival.  Experiment harnesses call this between runs; builders
+        that hand each run a fresh platform are unaffected.
+        """
+        self._last_arrival.clear()
+        self.bytes_sent = 0.0
+        self.messages_sent = 0
+
+    def export_metrics(self, registry: "MetricsRegistry", **labels) -> None:
+        """Publish cumulative traffic totals into a metrics registry."""
+        registry.counter("net.bytes_sent", **labels).add(self.bytes_sent)
+        registry.counter("net.messages_sent", **labels).add(self.messages_sent)
+        registry.gauge("net.active_channels", **labels).set(
+            len(self._last_arrival)
+        )

@@ -44,13 +44,25 @@ class AvailabilityTrace(ABC):
         """
 
     def mean_over(self, t0: float, t1: float) -> float:
-        """Time-average availability over ``[t0, t1]`` (for diagnostics)."""
+        """Time-average availability over ``[t0, t1]`` (for diagnostics).
+
+        Raises ``RuntimeError`` if ``next_change`` fails its contract by
+        not advancing past ``t`` — without the guard a buggy subclass
+        (e.g. one whose breakpoints contain duplicates) spins this loop
+        forever instead of surfacing the defect.
+        """
         if t1 <= t0:
             return self.value(t0)
         total = 0.0
         t = t0
         while t < t1:
             nxt = min(self.next_change(t), t1)
+            if nxt <= t:
+                raise RuntimeError(
+                    f"{type(self).__name__}.next_change({t!r}) returned "
+                    f"{nxt!r}, which does not advance time; "
+                    f"next_change must return a value strictly after t"
+                )
             total += self.value(t) * (nxt - t)
             t = nxt
         return total / (t1 - t0)

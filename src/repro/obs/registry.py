@@ -1,0 +1,226 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` holds every metric of one observed run.
+Metrics are keyed by ``(name, labels)`` — the Prometheus data model,
+restricted to what a deterministic simulation needs:
+
+* a **counter** accumulates a monotone total (sends, retries, bytes);
+* a **gauge** holds the last written value (final residual, block size);
+* a **histogram** counts observations into *fixed* buckets chosen at
+  creation time, so two runs of the same scenario always produce
+  structurally identical snapshots.
+
+Snapshots are sorted by ``(name, canonical labels)``, never by insertion
+order, so the serialised form is independent of event arrival order —
+that is what makes the ``stable_digest`` of a metrics sidecar a sound
+reproducibility check.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Iterable, Mapping
+
+from repro.analysis.perf import canonical_json, stable_digest
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram buckets: geometric decades covering the virtual-time
+#: scales this simulation produces (sub-millisecond holds to 1e5-second
+#: grid runs).  The last bucket is an implicit +inf overflow.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5,
+)
+
+_LabelKey = tuple[tuple[str, Any], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, Any]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (amount={amount!r})"
+            )
+        self.value += amount
+
+    # ``add`` reads better when scraping an already-accumulated total.
+    add = inc
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": self.labels,
+            "type": "counter",
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that can move both ways; the snapshot keeps the last set."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, Any]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": self.labels,
+            "type": "gauge",
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram; ``buckets`` are inclusive upper bounds.
+
+    Observations greater than the last bound land in an implicit +inf
+    overflow bucket, so ``sum(counts) == count`` always holds.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, Any],
+        buckets: Iterable[float],
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} buckets must be strictly increasing, "
+                f"got {bounds}"
+            )
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 = overflow
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(
+                f"histogram {self.name!r} observed non-finite value {value!r}"
+            )
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def merge_counts(
+        self, counts: Iterable[int], total: float, count: int
+    ) -> None:
+        """Fold pre-aggregated per-bucket counts in (profiler export)."""
+        counts = list(counts)
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name!r} expects {len(self.counts)} bucket "
+                f"counts, got {len(counts)}"
+            )
+        for i, c in enumerate(counts):
+            self.counts[i] += int(c)
+        self.total += float(total)
+        self.count += int(count)
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": self.labels,
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """All metrics of one observed run, keyed by name + labels.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: repeated
+    calls with the same name and labels return the same object, and a
+    name cannot change its metric type (or, for histograms, its bucket
+    bounds) once created.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, _LabelKey], Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get_or_create(self, cls: type, name: str, labels: Mapping[str, Any], *args: Any):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels, *args)
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r}{dict(labels)!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        hist = self._get_or_create(Histogram, name, labels, buckets)
+        if hist.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r}{dict(labels)!r} already registered "
+                f"with buckets {hist.buckets}"
+            )
+        return hist
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict[str, Any]]:
+        """All metric records, sorted by (name, canonical labels).
+
+        The sort ignores insertion order on purpose: metric creation
+        order depends on event arrival order, which is deterministic but
+        brittle to refactors; the sorted form is stable under both.
+        """
+        return sorted(
+            (m.to_record() for m in self._metrics.values()),
+            key=lambda r: (r["name"], canonical_json(r["labels"])),
+        )
+
+    def digest(self) -> str:
+        """``stable_digest`` of the snapshot (virtual-time quantities only)."""
+        return stable_digest(self.snapshot())

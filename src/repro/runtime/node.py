@@ -50,6 +50,7 @@ from repro.runtime.tracer import MessageRecord, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["GridNode", "HEARTBEAT_KIND"]
 
@@ -233,6 +234,35 @@ class GridNode:
                 continue
             for peer in peers:
                 self.send(peer, HEARTBEAT_KIND, None, nbytes)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def export_metrics(self, registry: "MetricsRegistry", **labels) -> None:
+        """Publish this rank's transport counters into a registry.
+
+        Counters are zero (and still exported, so snapshots keep a
+        stable shape) on the lossless fast path.
+        """
+        rank = self.rank
+        registry.counter("transport.retries", rank=rank, **labels).add(
+            self.retries
+        )
+        registry.counter("transport.sends_failed", rank=rank, **labels).add(
+            self.sends_failed
+        )
+        registry.counter(
+            "transport.duplicates_suppressed", rank=rank, **labels
+        ).add(self.duplicates_suppressed)
+        registry.counter("transport.stale_rejected", rank=rank, **labels).add(
+            self.stale_rejected
+        )
+        registry.counter("transport.crashes", rank=rank, **labels).add(
+            self.crash_count
+        )
+        registry.gauge("transport.alive", rank=rank, **labels).set(
+            1.0 if self.alive else 0.0
+        )
 
     def is_latest_send(self, message: Message) -> bool:
         """Was ``message`` the most recent send on its channel?

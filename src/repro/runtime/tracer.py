@@ -6,15 +6,33 @@ Every driver (SISC/SIAC/AIAC, balanced or not) reports its activity to a
 * the ASCII Gantt charts reproducing Figures 1–4
   (:mod:`repro.analysis.gantt`),
 * idle-fraction / imbalance metrics (:mod:`repro.analysis.metrics`),
-* migration accounting in the load-balancing experiments.
+* migration accounting in the load-balancing experiments,
+* the JSONL / Chrome-trace exporters of :mod:`repro.obs.export`.
 
 Records are plain frozen dataclasses so tests can assert on them
 directly.
+
+Disabled-mode contract
+----------------------
+``Tracer(enabled=False)`` gates **all** record lists uniformly: none of
+``iterations`` / ``idles`` / ``messages`` / ``migrations`` / ``faults``
+accumulate (before the observability PR, migrations and faults leaked
+into a "disabled" tracer while busy/idle queries returned zero — the
+worst of both worlds).  Aggregate *accounting*, by contrast, is always
+on: cheap per-rank/per-kind totals are maintained on every recording
+call, so ``busy_time_of`` / ``idle_time_of`` / ``n_migrations`` /
+``components_migrated`` / ``n_messages`` are correct in both modes and
+:meth:`export_metrics` can build a full metrics snapshot even for
+untraced sweep runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = [
     "IterationSpan",
@@ -103,8 +121,10 @@ class Tracer:
     """Accumulates execution records for one run.
 
     A ``Tracer`` can be disabled (``enabled=False``) for large sweeps
-    where only the final timings matter; recording methods then return
-    immediately.
+    where only the final timings matter; the detailed record lists then
+    stay empty while the aggregate totals (busy/idle time, message,
+    migration and fault counts) keep accumulating — see the module
+    docstring for the full disabled-mode contract.
     """
 
     def __init__(self, enabled: bool = True) -> None:
@@ -115,46 +135,112 @@ class Tracer:
         self.migrations: list[MigrationRecord] = []
         self.residuals: list[ResidualRecord] = []
         self.faults: list[FaultRecord] = []
+        # Always-on aggregates (plain dict ops: cheap enough for the
+        # per-sweep / per-message hot paths even in disabled mode).
+        self._busy: dict[int, float] = {}
+        self._idle: dict[int, float] = {}
+        self._iter_counts: dict[int, int] = {}
+        self._msg_counts: dict[str, int] = {}
+        self._msg_bytes: dict[str, float] = {}
+        self._fault_counts: dict[str, int] = {}
+        self._n_migrations = 0
+        self._components_migrated = 0
 
     # Recording -----------------------------------------------------------
     def iteration(self, span: IterationSpan) -> None:
+        self._busy[span.rank] = (
+            self._busy.get(span.rank, 0.0) + span.t1 - span.t0
+        )
+        self._iter_counts[span.rank] = self._iter_counts.get(span.rank, 0) + 1
         if self.enabled:
             self.iterations.append(span)
 
     def idle(self, span: IdleSpan) -> None:
+        self._idle[span.rank] = self._idle.get(span.rank, 0.0) + span.t1 - span.t0
         if self.enabled:
             self.idles.append(span)
 
     def message(self, record: MessageRecord) -> None:
+        kind = record.kind
+        self._msg_counts[kind] = self._msg_counts.get(kind, 0) + 1
+        self._msg_bytes[kind] = self._msg_bytes.get(kind, 0.0) + record.size_bytes
         if self.enabled:
             self.messages.append(record)
 
     def migration(self, record: MigrationRecord) -> None:
-        # Migration records are cheap and central to the experiments:
-        # record them even when detailed tracing is disabled.
-        self.migrations.append(record)
+        self._n_migrations += 1
+        self._components_migrated += record.n_components
+        if self.enabled:
+            self.migrations.append(record)
 
     def residual(self, record: ResidualRecord) -> None:
         if self.enabled:
             self.residuals.append(record)
 
     def fault(self, record: FaultRecord) -> None:
-        # Fault events are rare and central to the resilience
-        # experiments: record them even when detailed tracing is off.
-        self.faults.append(record)
+        self._fault_counts[record.kind] = (
+            self._fault_counts.get(record.kind, 0) + 1
+        )
+        if self.enabled:
+            self.faults.append(record)
 
     # Convenience queries ---------------------------------------------------
     def iterations_of(self, rank: int) -> list[IterationSpan]:
         return [s for s in self.iterations if s.rank == rank]
 
     def idle_time_of(self, rank: int) -> float:
-        return sum(s.t1 - s.t0 for s in self.idles if s.rank == rank)
+        return self._idle.get(rank, 0.0)
 
     def busy_time_of(self, rank: int) -> float:
-        return sum(s.t1 - s.t0 for s in self.iterations if s.rank == rank)
+        return self._busy.get(rank, 0.0)
+
+    def iteration_count_of(self, rank: int) -> int:
+        return self._iter_counts.get(rank, 0)
+
+    def n_messages(self) -> int:
+        return sum(self._msg_counts.values())
 
     def n_migrations(self) -> int:
-        return len(self.migrations)
+        return self._n_migrations
 
     def components_migrated(self) -> int:
-        return sum(m.n_components for m in self.migrations)
+        return self._components_migrated
+
+    def n_faults(self) -> int:
+        return sum(self._fault_counts.values())
+
+    # Metrics export --------------------------------------------------------
+    def export_metrics(self, registry: "MetricsRegistry", **labels) -> None:
+        """Publish the always-on aggregates into a metrics registry.
+
+        Works identically for enabled and disabled tracers — the
+        aggregates never depend on the record lists.  Extra ``labels``
+        (e.g. ``run="p8/balanced"``) are attached to every metric.
+        """
+        for rank in sorted(self._busy):
+            registry.counter("trace.busy_time", rank=rank, **labels).add(
+                self._busy[rank]
+            )
+        for rank in sorted(self._idle):
+            registry.counter("trace.idle_time", rank=rank, **labels).add(
+                self._idle[rank]
+            )
+        for rank in sorted(self._iter_counts):
+            registry.counter("trace.iterations", rank=rank, **labels).add(
+                self._iter_counts[rank]
+            )
+        for kind in sorted(self._msg_counts):
+            registry.counter("trace.messages", kind=kind, **labels).add(
+                self._msg_counts[kind]
+            )
+            registry.counter("trace.message_bytes", kind=kind, **labels).add(
+                self._msg_bytes[kind]
+            )
+        for kind in sorted(self._fault_counts):
+            registry.counter("trace.faults", kind=kind, **labels).add(
+                self._fault_counts[kind]
+            )
+        registry.counter("trace.migrations", **labels).add(self._n_migrations)
+        registry.counter("trace.components_migrated", **labels).add(
+            self._components_migrated
+        )

@@ -252,3 +252,129 @@ def test_at_event_is_cancellable():
     event.cancel()
     sim.run()
     assert calls == ["kept"]
+
+
+# ----------------------------------------------------------------------
+# run(until=...) boundary semantics
+# ----------------------------------------------------------------------
+def test_event_exactly_at_until_fires():
+    """`until` is an inclusive horizon: an event scheduled exactly there
+    runs, and the clock ends on its timestamp."""
+    sim = Simulator()
+    fired = []
+    sim.at(5.0, fired.append, "at-horizon")
+    sim.at(5.000001, fired.append, "past-horizon")
+    sim.run(until=5.0)
+    assert fired == ["at-horizon"]
+    assert sim.now == 5.0
+
+
+def test_until_with_only_later_events_advances_clock_to_until():
+    sim = Simulator()
+    fired = []
+    sim.at(10.0, fired.append, "later")
+    sim.run(until=3.0)
+    assert fired == []
+    assert sim.now == 3.0
+    # The event stays queued and fires on a subsequent run().
+    sim.run()
+    assert fired == ["later"]
+    assert sim.now == 10.0
+
+
+def test_until_with_empty_queue_leaves_clock_at_last_event():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.run(until=100.0)
+    # Queue drained before the horizon: now is the last event time, not
+    # the horizon (run() only advances the clock to `until` when events
+    # remain pending past it).
+    assert sim.now == 1.0
+
+
+def test_until_before_now_raises():
+    sim = Simulator()
+    sim.at(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError, match="before now"):
+        sim.run(until=1.0)
+
+
+def test_run_until_signal_fires_exactly_at_horizon():
+    """A signal triggered exactly at the horizon wins the tie: the
+    triggering event is at the horizon, so it dispatches before the
+    loop checks `next_time > until`."""
+    sim = Simulator()
+    sig = Signal("s")
+
+    def trigger(sim):
+        yield Hold(5.0)
+        sig.trigger(sim)
+
+    sim.spawn("t", trigger(sim))
+    assert sim.run_until_signal(sig, horizon=5.0) is True
+    assert sim.now == 5.0
+
+
+def test_run_until_signal_just_past_horizon_returns_false():
+    sim = Simulator()
+    sig = Signal("s")
+
+    def trigger(sim):
+        yield Hold(5.0)
+        sig.trigger(sim)
+
+    sim.spawn("t", trigger(sim))
+    assert sim.run_until_signal(sig, horizon=4.999) is False
+    assert sim.now == 4.999
+
+
+# ----------------------------------------------------------------------
+# Profiler hook
+# ----------------------------------------------------------------------
+def test_attach_profiler_observes_every_dispatch():
+    class Recorder:
+        def __init__(self):
+            self.events = []
+
+        def record(self, event):
+            self.events.append(event.time)
+
+    sim = Simulator()
+    recorder = Recorder()
+    assert sim.attach_profiler(recorder) is sim
+    sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    sim.run()
+    assert recorder.events == [1.0, 2.0, 2.0]
+
+
+def test_profiled_run_matches_unprofiled_run():
+    def workload(sim, log):
+        def proc(sim, period, n):
+            for _ in range(n):
+                yield Hold(period)
+                log.append(sim.now)
+
+        sim.spawn("a", proc(sim, 1.0, 5))
+        sim.spawn("b", proc(sim, 1.7, 4))
+
+    class Counter:
+        n = 0
+
+        def record(self, event):
+            self.n += 1
+
+    plain_log, prof_log = [], []
+    sim1 = Simulator()
+    workload(sim1, plain_log)
+    sim1.run()
+    sim2 = Simulator()
+    counter = Counter()
+    sim2.attach_profiler(counter)
+    workload(sim2, prof_log)
+    sim2.run()
+    assert plain_log == prof_log
+    assert sim1.now == sim2.now
+    assert counter.n > 0

@@ -98,3 +98,48 @@ def test_site_link_key_is_symmetric():
     slow = Link(latency=0.5, bandwidth=1.0)
     net.set_site_link("s2", "s1", slow)  # overwrite via the flipped key
     assert net.site_link("s1", "s2") is slow
+
+
+# ----------------------------------------------------------------------
+# reset(): per-run state must not leak across runs
+# ----------------------------------------------------------------------
+def _arrival_sequence(network, a, b):
+    return [network.arrival_time(a, b, 1000.0, t) for t in (0.0, 0.0, 0.5)]
+
+
+def test_reset_clears_fifo_clamp_and_counters():
+    a, b, _ = make_hosts()
+    network = Network(Link(latency=0.01, bandwidth=1e6))
+    first = _arrival_sequence(network, a, b)
+    assert network.messages_sent == 3
+    assert network.bytes_sent == pytest.approx(3000.0)
+    network.reset()
+    assert network.messages_sent == 0
+    assert network.bytes_sent == 0.0
+    # Back-to-back runs over the same network are identical after reset.
+    assert _arrival_sequence(network, a, b) == first
+
+
+def test_without_reset_fifo_state_leaks_into_next_run():
+    """Documents the bug reset() fixes: a reused network clamps the next
+    run's arrivals behind the previous run's last delivery."""
+    a, b, _ = make_hosts()
+    network = Network(Link(latency=0.01, bandwidth=1e6))
+    first = _arrival_sequence(network, a, b)
+    leaked = _arrival_sequence(network, a, b)
+    assert leaked[0] > first[0]
+
+
+def test_export_metrics_reports_totals():
+    from repro.obs.registry import MetricsRegistry
+
+    a, b, _ = make_hosts()
+    network = Network(Link(latency=0.01, bandwidth=1e6))
+    _arrival_sequence(network, a, b)
+    reg = MetricsRegistry()
+    network.export_metrics(reg, run="x")
+    records = {r["name"]: r for r in reg.snapshot()}
+    assert records["net.messages_sent"]["value"] == 3
+    assert records["net.bytes_sent"]["value"] == pytest.approx(3000.0)
+    assert records["net.active_channels"]["value"] == 1
+    assert records["net.messages_sent"]["labels"] == {"run": "x"}

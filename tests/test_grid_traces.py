@@ -95,3 +95,50 @@ def test_property_markov_value_in_range(a, b):
     t = MarkovTrace(spawn_generator(9, "load"), mean_dwell=3.0, low=0.2, high=0.9)
     for x in (a, b):
         assert MIN_AVAILABILITY <= 0.2 <= t.value(x) <= 0.9
+
+
+# ----------------------------------------------------------------------
+# mean_over progress guard (regression: non-advancing next_change)
+# ----------------------------------------------------------------------
+class _StuckTrace(PiecewiseTrace):
+    """A trace whose next_change violates its contract by not advancing.
+
+    Simulates the duplicate-breakpoint corruption that PiecewiseTrace's
+    constructor normally rejects: before the progress guard, mean_over
+    looped forever on such a trace.
+    """
+
+    def __init__(self, stuck_at: float):
+        super().__init__([0.0, stuck_at], [1.0, 0.5])
+        self._stuck_at = stuck_at
+
+    def next_change(self, t: float) -> float:
+        if t >= self._stuck_at:
+            return self._stuck_at  # <= t: contract violation
+        return super().next_change(t)
+
+
+def test_mean_over_raises_on_non_advancing_trace():
+    t = _StuckTrace(5.0)
+    with pytest.raises(RuntimeError, match="does not advance"):
+        t.mean_over(0.0, 10.0)
+
+
+def test_piecewise_rejects_duplicate_breakpoints():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        PiecewiseTrace([0.0, 5.0, 5.0], [1.0, 0.5, 0.25])
+
+
+def test_mean_over_exact_segments_unchanged():
+    t = PiecewiseTrace([0.0, 10.0], [1.0, 0.5])
+    assert t.mean_over(0.0, 20.0) == pytest.approx(0.75)
+    assert t.mean_over(0.0, 10.0) == pytest.approx(1.0)
+    assert t.mean_over(10.0, 30.0) == pytest.approx(0.5)
+    # Degenerate interval: the value at t0.
+    assert t.mean_over(5.0, 5.0) == 1.0
+
+
+def test_mean_over_markov_terminates_and_averages():
+    t = MarkovTrace(spawn_generator(5, "load"), mean_dwell=2.0, low=0.3, high=0.9)
+    m = t.mean_over(0.0, 50.0)
+    assert 0.3 <= m <= 0.9

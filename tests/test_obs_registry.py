@@ -1,0 +1,120 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.registry import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("sends", rank=0)
+    c.inc()
+    c.inc(2.5)
+    c.add(1.5)
+    assert c.value == 5.0
+    with pytest.raises(ValueError, match="cannot decrease"):
+        c.inc(-1.0)
+
+
+def test_get_or_create_is_keyed_by_name_and_labels():
+    reg = MetricsRegistry()
+    a = reg.counter("sends", rank=0)
+    b = reg.counter("sends", rank=0)
+    c = reg.counter("sends", rank=1)
+    d = reg.counter("retries", rank=0)
+    assert a is b
+    assert a is not c and a is not d
+    assert len(reg) == 3
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    a = reg.counter("m", rank=0, channel="halo")
+    b = reg.counter("m", channel="halo", rank=0)
+    assert a is b
+
+
+def test_type_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x", rank=0)
+    with pytest.raises(TypeError, match="already registered as Counter"):
+        reg.gauge("x", rank=0)
+
+
+def test_gauge_keeps_last_value():
+    reg = MetricsRegistry()
+    g = reg.gauge("residual", rank=2)
+    g.set(1.0)
+    g.set(0.25)
+    assert g.value == 0.25
+    assert g.to_record()["type"] == "gauge"
+
+
+def test_histogram_bucketing_and_overflow():
+    reg = MetricsRegistry()
+    h = reg.histogram("t", buckets=(1.0, 10.0), rank=0)
+    for v in (0.5, 1.0, 5.0, 100.0):
+        h.observe(v)
+    # Inclusive upper bounds: 1.0 lands in the first bucket.
+    assert h.counts == [2, 1, 1]
+    assert h.count == 4
+    assert h.total == pytest.approx(106.5)
+    assert sum(h.counts) == h.count
+
+
+def test_histogram_rejects_non_finite_and_bad_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("t", buckets=(1.0,))
+    with pytest.raises(ValueError, match="non-finite"):
+        h.observe(float("nan"))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("bad", {}, (1.0, 1.0))
+    with pytest.raises(ValueError, match="at least one bucket"):
+        Histogram("empty", {}, ())
+
+
+def test_histogram_bucket_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.histogram("t", buckets=(1.0, 2.0), rank=0)
+    with pytest.raises(ValueError, match="already registered"):
+        reg.histogram("t", buckets=(1.0, 3.0), rank=0)
+
+
+def test_histogram_merge_counts():
+    reg = MetricsRegistry()
+    h = reg.histogram("t", buckets=(1.0, 10.0))
+    h.observe(0.5)
+    h.merge_counts([1, 2, 0], total=7.0, count=3)
+    assert h.counts == [2, 2, 0]
+    assert h.count == 4
+    with pytest.raises(ValueError, match="bucket"):
+        h.merge_counts([1, 2], total=1.0, count=3)
+
+
+def test_snapshot_is_sorted_and_insertion_order_independent():
+    reg1 = MetricsRegistry()
+    reg1.counter("b", rank=1).inc(2)
+    reg1.counter("a", rank=0).inc(1)
+    reg1.gauge("b", rank=0).set(3.0)
+
+    reg2 = MetricsRegistry()
+    reg2.gauge("b", rank=0).set(3.0)
+    reg2.counter("a", rank=0).inc(1)
+    reg2.counter("b", rank=1).inc(2)
+
+    assert reg1.snapshot() == reg2.snapshot()
+    assert reg1.digest() == reg2.digest()
+    names = [r["name"] for r in reg1.snapshot()]
+    assert names == sorted(names)
+
+
+def test_digest_changes_with_values():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    d1 = reg.digest()
+    reg.counter("a").inc()
+    assert reg.digest() != d1
+
+
+def test_default_buckets_are_strictly_increasing():
+    assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))

@@ -359,7 +359,13 @@ def test_pop_at_skips_tombstone_but_not_later_times():
 # ----------------------------------------------------------------------
 # End-to-end AIAC determinism
 # ----------------------------------------------------------------------
-def _aiac_fingerprint():
+def _aiac_fingerprint(profiler=None):
+    """Event-trace + solution fingerprint of a small deterministic run.
+
+    ``profiler`` is forwarded to the solver so the obs tests can assert
+    that an attached :class:`~repro.obs.profile.SimProfiler` leaves the
+    trace bit-identical.
+    """
     from repro.core.solver import run_aiac
     from repro.workloads.scenarios import Table1Scenario
 
@@ -369,7 +375,7 @@ def _aiac_fingerprint():
     plat = sc.platform()
     res = run_aiac(
         sc.problem(), plat, sc.solver_config(trace=True),
-        host_order=sc.host_order(plat),
+        host_order=sc.host_order(plat), profiler=profiler,
     )
     h = hashlib.sha256()
     for blk in res.solution_blocks:
