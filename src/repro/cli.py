@@ -7,6 +7,7 @@ Usage::
     python -m repro figures-1-4
     python -m repro models
     python -m repro resilience [--full] [--json BENCH_resilience.json]
+    python -m repro soak [--schedules N] [--seed S] [--out-dir DIR]
     python -m repro ablations [--only period,estimator,...]
     python -m repro metrics figure5 [--tiny|--full] [--out PREFIX] [--profile]
     python -m repro trace figure5 [--tiny|--full] [--out PREFIX] [--profile]
@@ -217,6 +218,33 @@ def _solve(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _soak(args: argparse.Namespace) -> str:
+    from repro.guard.soak import run_soak
+
+    models = tuple(args.models.split(",")) if args.models else None
+    result = run_soak(
+        n_schedules=args.schedules,
+        seed=args.seed,
+        models=models,
+        out_dir=args.out_dir,
+        shrink=not args.no_shrink,
+    )
+    if args.json:
+        result.save_json(args.json)
+    report = result.report()
+    if args.json:
+        report += f"\nsoak report written to {args.json}"
+    if not result.ok:
+        # Print before raising: argparse handlers normally return the
+        # report, but a failing soak must exit non-zero for CI.
+        print(report)
+        raise SystemExit(
+            f"soak failed: {len(result.failures)} (schedule x model) "
+            f"run(s) violated guard assertions"
+        )
+    return report
+
+
 def _list(args: argparse.Namespace) -> str:
     return "\n".join(
         [
@@ -225,6 +253,7 @@ def _list(args: argparse.Namespace) -> str:
             "figures-1-4  SISC/SIAC/AIAC execution flows (paper Figures 1-4)",
             "models       cluster vs grid model comparison (paper §6)",
             "resilience   execution models under injected faults",
+            "soak         chaos soak: random fault schedules under repro.guard",
             f"ablations    design-knob sweeps: {', '.join(sorted(_ABLATIONS))}",
             "metrics      experiment run with a metrics sidecar (repro.obs)",
             "trace        experiment run exported as a Perfetto trace",
@@ -317,6 +346,35 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="skip the traced headline run (metrics sidecar only)",
             )
+
+    soak_cmd = sub.add_parser(
+        "soak", help="chaos soak: random fault schedules under repro.guard"
+    )
+    soak_cmd.set_defaults(handler=_soak)
+    soak_cmd.add_argument(
+        "--schedules", type=int, default=50, help="random schedules to run"
+    )
+    soak_cmd.add_argument(
+        "--seed", type=int, default=0, help="soak seed (schedules + injector)"
+    )
+    soak_cmd.add_argument(
+        "--models",
+        default="",
+        help="comma-separated subset of: sisc,siac,aiac,aiac+lb (default all)",
+    )
+    soak_cmd.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for minimal-reproducer JSON files",
+    )
+    soak_cmd.add_argument(
+        "--json", default="", help="write the soak report to this JSON file"
+    )
+    soak_cmd.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip shrinking failing schedules (faster failure turnaround)",
+    )
 
     ablation_cmd = sub.add_parser("ablations")
     ablation_cmd.set_defaults(handler=_ablations)

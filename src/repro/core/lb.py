@@ -117,6 +117,7 @@ class _BalancedRun:
 
     def __init__(self, run: ChainRun, lb_config: LBConfig) -> None:
         self.run = run
+        run.lb_runtime = self  # guard introspection (stall suspects)
         self.cfg = lb_config
         self.lb: list[LBRankState] = [
             LBRankState(
@@ -571,6 +572,7 @@ def run_balanced_aiac(
     host_order: list[int] | None = None,
     injector: Any = None,
     profiler: Any = None,
+    guard: Any = None,
 ) -> RunResult:
     """Solve with AIAC coupled to decentralized dynamic load balancing.
 
@@ -581,7 +583,7 @@ def run_balanced_aiac(
     against the run (installed after the LB estimators are wired, so the
     seeded checkpoints snapshot the configured estimator); ``profiler``
     optionally attaches a :class:`~repro.obs.profile.SimProfiler` to the
-    DES kernel.
+    DES kernel; ``guard`` a :class:`~repro.guard.InvariantMonitor`.
     """
     run = build_chain(
         problem, platform, config, model="aiac+lb", host_order=host_order
@@ -591,6 +593,8 @@ def run_balanced_aiac(
         injector.install(run)
     if profiler is not None:
         run.sim.attach_profiler(profiler)
+    if guard is not None:
+        guard.attach(run)
     for ctx in run.ranks:
         run.sim.spawn(f"lb-rank-{ctx.rank}", _balanced_process(balanced, ctx))
     run.run()

@@ -88,6 +88,15 @@ class PartitionRegistry:
     def n_in_flight(self) -> int:
         return sum(f.hi - f.lo for f in self._in_flight)
 
+    def in_flight_runs(self) -> list[tuple[int, int, int, int]]:
+        """``(lo, hi, src, dst)`` for every migration currently in flight.
+
+        A read-only snapshot (used by :class:`repro.guard`'s
+        conservation check to tile the global index space from an
+        independent angle than :meth:`check`).
+        """
+        return [(f.lo, f.hi, f.src, f.dst) for f in self._in_flight]
+
     # ------------------------------------------------------------------
     # Migration lifecycle
     # ------------------------------------------------------------------

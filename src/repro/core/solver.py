@@ -162,6 +162,14 @@ class ChainRun:
         #: Fault injector attached via :meth:`attach_injector`; None on
         #: the lossless fast path.
         self.injector: Any = None
+        #: Invariant/watchdog monitor attached via
+        #: :meth:`repro.guard.InvariantMonitor.attach`; None on the
+        #: unguarded fast path (a single pointer test per sweep).
+        self.guard: Any = None
+        #: Load-balancing runtime (:class:`repro.core.lb._BalancedRun`)
+        #: when this run is balanced; None otherwise.  Introspected by
+        #: the guard's stall watchdog to name suspect channels.
+        self.lb_runtime: Any = None
         #: Sweeps between periodic checkpoints (0 = checkpointing off).
         self.checkpoint_every = 0
         for rank in range(n_ranks):
@@ -437,6 +445,13 @@ class ChainRun:
         ctx.iteration += 1
         ctx.prev_residual = ctx.residual
         ctx.residual = result.local_residual
+        if self.guard is not None and self.guard.after_sweep(self, ctx):
+            # The divergence watchdog rolled this rank back to its last
+            # checkpoint: the sweep's results are void (mirrors the
+            # mid-sweep crash discard above), so none of its accounting
+            # — estimator update, trace spans, convergence reports —
+            # may leak out.
+            return duration
         residual_l2 = float(np.linalg.norm(result.residuals))
         ctx.estimator.update(ctx.residual, residual_l2, duration, ctx.n_local)
         self.tracer.iteration(
@@ -633,6 +648,7 @@ def run_aiac(
     host_order: list[int] | None = None,
     injector: Any = None,
     profiler: Any = None,
+    guard: Any = None,
 ) -> RunResult:
     """Solve ``problem`` with the unbalanced AIAC algorithm (Algorithm 1).
 
@@ -641,7 +657,9 @@ def run_aiac(
     :class:`~repro.faults.injector.FaultInjector` (resilient transport +
     fault schedule) against the run; ``profiler`` optionally attaches a
     :class:`~repro.obs.profile.SimProfiler` to the DES kernel (the event
-    trace is bit-identical with or without it).  Returns the
+    trace is bit-identical with or without it); ``guard`` optionally
+    attaches a :class:`~repro.guard.InvariantMonitor` (runtime safety
+    invariants + watchdogs, see ``docs/robustness.md``).  Returns the
     :class:`RunResult`.
     """
     run = build_chain(
@@ -651,6 +669,8 @@ def run_aiac(
         injector.install(run)
     if profiler is not None:
         run.sim.attach_profiler(profiler)
+    if guard is not None:
+        guard.attach(run)
     for ctx in run.ranks:
         run.sim.spawn(f"aiac-rank-{ctx.rank}", _aiac_process(run, ctx))
     run.run()

@@ -67,6 +67,21 @@ class Simulator:
         self.profiler = profiler
         return self
 
+    def attach_monitor(self, monitor: Any) -> "Simulator":
+        """Attach a dispatch observer *on top of* any existing one.
+
+        Unlike :meth:`attach_profiler` (which owns the single observer
+        slot), this composes: the current occupant of the slot — a
+        profiler, or another monitor — is stored on ``monitor.chain``
+        and the monitor is expected to forward ``record(event)`` to it.
+        Used by :class:`repro.guard.InvariantMonitor`, which piggybacks
+        on the profiler slot so the observer-off dispatch loop stays
+        bit-identical.  Returns ``self`` for chaining.
+        """
+        monitor.chain = self.profiler
+        self.profiler = monitor
+        return self
+
     # ------------------------------------------------------------------
     # Clock and scheduling
     # ------------------------------------------------------------------

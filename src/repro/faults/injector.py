@@ -251,6 +251,9 @@ class FaultInjector:
             return
         node.alive = True
         self.stats["restarts"] += 1
+        # Transfers whose retry timer fired during the downtime were
+        # parked (a dead host must not retransmit); re-arm them now.
+        node.resume_parked()
         now = self.sim.now
         self.tracer.fault(
             FaultRecord(kind="restart", time=now, t_end=now, rank=rank)

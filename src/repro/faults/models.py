@@ -29,7 +29,12 @@ import math
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any
 
-from repro.util.validation import check_in_range, check_non_negative, check_positive
+from repro.util.validation import (
+    check_disjoint_intervals,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
 
 __all__ = [
     "ResilienceConfig",
@@ -120,6 +125,15 @@ def _check_window(t0: float, t1: float) -> None:
     check_non_negative("t0", t0)
     if t1 < t0:
         raise ValueError(f"fault window must have t1 >= t0, got [{t0}, {t1}]")
+
+
+def _crash_window(crash: "HostCrash") -> tuple[float, float]:
+    """Conservative ``[crash, latest possible restart]`` interval."""
+    downtime = crash.downtime
+    if downtime is None:
+        return (crash.at, math.inf)
+    hi = downtime[1] if isinstance(downtime, tuple) else downtime
+    return (crash.at, crash.at + hi)
 
 
 @dataclass(frozen=True)
@@ -328,6 +342,48 @@ class FaultSchedule:
         for f in self.faults:
             if type(f) not in _TYPE_NAMES:
                 raise TypeError(f"unknown fault model {f!r}")
+        self._check_cross_fault_consistency()
+
+    def _check_cross_fault_consistency(self) -> None:
+        """Strict whole-schedule validation (beyond per-fault checks).
+
+        Two shapes compile into silently broken schedules and are
+        rejected at construction time:
+
+        * **overlapping crash intervals for one host** — the injector
+          absorbs a crash that lands while the host is already down, so
+          the second crash (and its restart) silently never happens;
+        * **a partition isolating a single rank that lies entirely
+          within that rank's crash window** — the cut can never be
+          observed (the host is down for its whole duration and the
+          partition has healed by the earliest possible restart), yet
+          the schedule reads as if connectivity loss were exercised.
+
+        Crash windows are conservative ``[at, at + max downtime]``
+        intervals (``math.inf`` for no-restart crashes).
+        """
+        windows: dict[int, list[tuple[float, float]]] = {}
+        for fault in self.faults:
+            if isinstance(fault, HostCrash):
+                windows.setdefault(fault.rank, []).append(_crash_window(fault))
+        for rank, intervals in sorted(windows.items()):
+            check_disjoint_intervals(f"rank {rank} crash", intervals)
+        for fault in self.faults:
+            if not isinstance(fault, LinkPartition):
+                continue
+            for group in (fault.ranks_a, fault.ranks_b):
+                if len(group) != 1:
+                    continue
+                (rank,) = group
+                for w0, w1 in windows.get(rank, ()):
+                    if w0 <= fault.t0 and fault.t1 <= w1:
+                        raise ValueError(
+                            f"partition [{fault.t0:g}, {fault.t1:g}] severs "
+                            f"rank {rank}'s only link but lies entirely "
+                            f"within its crash window [{w0:g}, {w1:g}]; "
+                            "the cut is unobservable — widen the partition "
+                            "or move the crash"
+                        )
 
     # ------------------------------------------------------------------
     # (De)serialisation — the config-file form

@@ -14,6 +14,7 @@ variants the paper depicts:
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Any
 
 from repro.core.config import SolverConfig
 from repro.core.records import RunResult
@@ -31,12 +32,26 @@ def run_aiac_model(
     *,
     variant: str = "exclusive",
     host_order: list[int] | None = None,
+    injector: Any = None,
+    guard: Any = None,
 ) -> RunResult:
-    """Solve ``problem`` with the AIAC model in the requested variant."""
+    """Solve ``problem`` with the AIAC model in the requested variant.
+
+    ``injector`` / ``guard`` are forwarded to
+    :func:`repro.core.solver.run_aiac` (fault injection and runtime
+    safety invariants respectively).
+    """
     if variant not in ("eager", "exclusive"):
         raise ValueError(f"variant must be 'eager' or 'exclusive', got {variant!r}")
     config = config if config is not None else SolverConfig()
     config = replace(config, exclusive_sends=(variant == "exclusive"))
-    result = run_aiac(problem, platform, config, host_order=host_order)
+    result = run_aiac(
+        problem,
+        platform,
+        config,
+        host_order=host_order,
+        injector=injector,
+        guard=guard,
+    )
     result.meta["variant"] = variant
     return result

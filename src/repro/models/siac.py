@@ -72,12 +72,14 @@ def run_siac(
     *,
     host_order: list[int] | None = None,
     injector: Any = None,
+    guard: Any = None,
 ) -> RunResult:
     """Solve ``problem`` with the SIAC execution model.
 
     ``injector`` optionally arms a fault injector; halos then re-send on
     permanent transfer failure (synchronous iterations cannot substitute
-    fresher data for a lost message the way AIAC can).
+    fresher data for a lost message the way AIAC can).  ``guard``
+    optionally attaches a :class:`~repro.guard.InvariantMonitor`.
     """
     run = build_chain(
         problem, platform, config, model="siac", host_order=host_order
@@ -85,6 +87,8 @@ def run_siac(
     if injector is not None:
         install_sync_recovery(run)
         injector.install(run)
+    if guard is not None:
+        guard.attach(run)
     for ctx in run.ranks:
         run.sim.spawn(f"siac-rank-{ctx.rank}", _siac_process(run, ctx))
     run.run()

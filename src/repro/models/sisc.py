@@ -103,6 +103,13 @@ def _sisc_resilient_process(
             continue
         if node.crash_count != ctx.restored_epoch:
             run.restore_checkpoint(ctx)
+            # The restored state attests that every iteration up to the
+            # checkpoint completed.  Re-arrive at the barrier for it:
+            # if the crash hit between the checkpointed sweep and its
+            # barrier arrival, re-execution resumes *past* that
+            # iteration and would never arrive, deadlocking the other
+            # ranks at ``passed(checkpoint_iteration)`` forever.
+            barrier.arrive(ctx.rank, ctx.iteration, sim)
             request_fresh_halos(run, ctx)
             continue
         yield from run.sweep(ctx, send_left_mid_sweep=False, exclusive=False)
@@ -148,16 +155,22 @@ def run_sisc(
     *,
     host_order: list[int] | None = None,
     injector: Any = None,
+    guard: Any = None,
 ) -> RunResult:
     """Solve ``problem`` with the SISC execution model.
 
     ``injector`` optionally arms a fault injector; the run then uses the
     rollback-tolerant :class:`_IterationBarrier` and re-sends halos on
     permanent transfer failure.  Fault-free runs are untouched.
+    ``guard`` optionally attaches a
+    :class:`~repro.guard.InvariantMonitor` (runtime safety invariants;
+    see ``docs/robustness.md``).
     """
     run = build_chain(
         problem, platform, config, model="sisc", host_order=host_order
     )
+    if guard is not None:
+        guard.attach(run)
     if injector is not None:
         install_sync_recovery(run)
         injector.install(run)

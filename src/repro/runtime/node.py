@@ -148,6 +148,9 @@ class GridNode:
         self._recv_latest: dict[tuple[str, int], int] = {}
         self._recv_seen: dict[tuple[str, int], set[int]] = {}
         self._last_heard: dict[int, float] = {}
+        #: Transfers whose retry timer fired while this host was crashed;
+        #: re-armed by :meth:`resume_parked` at restart.
+        self._parked: list[_Transfer] = []
         # Transport counters (surfaced in resilience experiment reports).
         self.duplicates_suppressed = 0
         self.stale_rejected = 0
@@ -458,6 +461,17 @@ class GridNode:
         transfer.timer = None
         if transfer.acked:
             return
+        if not self.alive:
+            # Ghost-retransmission guard: a crashed host must not put
+            # copies on the wire.  Before this check a retry timer armed
+            # pre-crash kept retransmitting from the grave, and every
+            # delivery refreshed the *receiver's* ``_last_heard`` — so a
+            # peer that crashed before its first heartbeat was never
+            # marked dead by ``peer_alive``.  Park the transfer instead;
+            # the injector re-arms it at restart (``resume_parked``), so
+            # failure-handler semantics survive the downtime.
+            self._parked.append(transfer)
+            return
         if transfer.in_flight > 0:
             # A copy (or its ack) is still travelling — the omniscient
             # simulator stands in for TCP's conservative RTO here: wait
@@ -483,6 +497,46 @@ class GridNode:
             failure(transfer.message, transfer.delivered)
         if transfer.exclusive:
             self._flush_pending(transfer.channel)
+
+    def resume_parked(self) -> int:
+        """Re-arm retry timers parked while this host was crashed.
+
+        Called by the injector's restart path.  Each parked transfer
+        re-enters :meth:`_on_timeout` after a fresh RTO (rather than
+        retransmitting immediately), so a transfer acked during the
+        downtime resolves silently and the attempt budget is spent only
+        on genuine wire time.  Returns the number of transfers re-armed.
+        """
+        injector = self.injector
+        assert injector is not None
+        parked, self._parked = self._parked, []
+        rearmed = 0
+        for transfer in parked:
+            if transfer.acked:
+                continue
+            rto = injector.retry_timeout(self.rank, transfer.attempt)
+            transfer.timer = self.sim.at(
+                self.sim.now + rto, self._on_timeout, transfer
+            )
+            rearmed += 1
+        return rearmed
+
+    def transport_snapshot(self) -> dict[str, dict]:
+        """Copies of the per-channel sequence counters.
+
+        Consumed by :class:`repro.guard.InvariantMonitor` to check
+        sequence monotonicity; returns plain dicts so the guard can
+        diff snapshots without holding references into live state.
+        """
+        return {
+            "send_seq": dict(self._send_seq),
+            "recv_latest": dict(self._recv_latest),
+            "recv_seen_max": {
+                channel: max(seen)
+                for channel, seen in self._recv_seen.items()
+                if seen
+            },
+        }
 
     def _flush_pending(self, channel: tuple[str, int]) -> None:
         """Send the latest payload buffered while ``channel`` was busy."""

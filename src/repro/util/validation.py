@@ -15,6 +15,7 @@ __all__ = [
     "check_in_range",
     "check_probability",
     "check_type",
+    "check_disjoint_intervals",
 ]
 
 
@@ -65,3 +66,23 @@ def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> Any:
         )
         raise TypeError(f"{name} must be {names}, got {type(value).__name__}")
     return value
+
+
+def check_disjoint_intervals(
+    name: str, intervals: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Validate that closed intervals ``(lo, hi)`` are pairwise disjoint.
+
+    Touching endpoints count as an overlap: two schedule events at the
+    same instant have no defined relative order, so a window that ends
+    exactly where the next begins is ambiguous.  Returns the intervals
+    sorted by start time.
+    """
+    ordered = sorted(intervals)
+    for (lo_a, hi_a), (lo_b, hi_b) in zip(ordered, ordered[1:]):
+        if lo_b <= hi_a:
+            raise ValueError(
+                f"{name} intervals overlap: "
+                f"[{lo_a:g}, {hi_a:g}] and [{lo_b:g}, {hi_b:g}]"
+            )
+    return ordered

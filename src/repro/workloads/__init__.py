@@ -6,6 +6,7 @@ from repro.workloads.scenarios import (
     ModelsComparisonScenario,
     TraceFigureScenario,
     ResilienceScenario,
+    SoakScenario,
 )
 
 __all__ = [
@@ -14,4 +15,5 @@ __all__ = [
     "ModelsComparisonScenario",
     "TraceFigureScenario",
     "ResilienceScenario",
+    "SoakScenario",
 ]

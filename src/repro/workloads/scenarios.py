@@ -37,6 +37,7 @@ __all__ = [
     "ModelsComparisonScenario",
     "TraceFigureScenario",
     "ResilienceScenario",
+    "SoakScenario",
 ]
 
 
@@ -424,6 +425,86 @@ class ResilienceScenario:
             n_steps=8,
             tolerance=1e-6,
             schedule_names=("none", "loss10+crash"),
+        )
+
+
+@dataclass(frozen=True)
+class SoakScenario:
+    """Chaos soak (``repro soak``): random fault schedules, all models.
+
+    The heat problem (exact sequential reference) at the smallest scale
+    that still exercises crash recovery and load balancing: every run's
+    answer is checked against ground truth *and* against the fault-free
+    run of the same model, on top of the ``repro.guard`` invariants.
+    The fault-intensity knobs bound what :func:`repro.guard.soak.
+    random_schedule` may draw, so a scenario instance fully determines
+    the soak (schedules included) given its seed.
+    """
+
+    seed: int = 0
+    n_points: int = 32
+    t_end: float = 0.05
+    n_steps: int = 8
+    n_procs: int = 4
+    host_speed: float = 2000.0
+    tolerance: float = 1e-6
+    max_time: float = 2000.0
+    models: tuple[str, ...] = ("sisc", "siac", "aiac", "aiac+lb")
+    #: Correctness gates: max error vs the sequential reference, and
+    #: max divergence from the same model's fault-free solution.
+    error_tol: float = 1e-3
+    agreement_tol: float = 1e-3
+    #: Stall-watchdog horizon (virtual seconds; the tiny heat instance
+    #: converges in tens of virtual seconds, so a full horizon without
+    #: a single sweep anywhere is genuinely pathological).
+    stall_horizon: float = 50.0
+    #: Fault-draw bounds for the random schedule generator.
+    max_faults: int = 3
+    loss_range: tuple[float, float] = (0.05, 0.30)
+    dup_range: tuple[float, float] = (0.05, 0.25)
+    reorder_range: tuple[float, float] = (0.10, 0.40)
+    reorder_delay_range: tuple[float, float] = (0.2, 0.8)
+    crash_at_range: tuple[float, float] = (1.0, 5.0)
+    crash_downtime_range: tuple[float, float] = (0.5, 2.5)
+    slowdown_factor_range: tuple[float, float] = (0.3, 0.7)
+    fault_window_range: tuple[float, float] = (0.5, 2.5)
+
+    def problem(self):
+        from repro.problems.heat import HeatProblem
+
+        return HeatProblem(
+            self.n_points, t_end=self.t_end, n_steps=self.n_steps
+        )
+
+    def platform(self) -> Platform:
+        return homogeneous_cluster(self.n_procs, speed=self.host_speed)
+
+    def solver_config(self) -> SolverConfig:
+        return SolverConfig(
+            tolerance=self.tolerance,
+            max_iterations=200_000,
+            max_time=self.max_time,
+        )
+
+    def lb_config(self) -> LBConfig:
+        return LBConfig(
+            period=5,
+            threshold_ratio=2.0,
+            min_components=2,
+            accuracy=1.0,
+            max_fraction=0.5,
+        )
+
+    def resilience(self):
+        from repro.faults.models import ResilienceConfig
+
+        # Same regime as ResilienceScenario.tiny(): retransmissions and
+        # liveness detection resolve within a few virtual seconds.
+        return ResilienceConfig(
+            base_timeout=0.05,
+            heartbeat_period=1.0,
+            liveness_timeout=3.0,
+            checkpoint_every=20,
         )
 
 

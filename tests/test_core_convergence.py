@@ -165,3 +165,104 @@ def test_ring_non_zero_rank_never_launches():
     det = drive_ring(3)
     converge_rank(det, 1)
     assert det.should_launch(1) is None
+
+
+# ---------------------------------------------------------------------------
+# Two-phase verification under message reordering (PR 4 satellite):
+# in-flight halo data can reawaken a rank *between* the query and
+# verification tokens — the reawakened rank must veto the halt.
+# ---------------------------------------------------------------------------
+
+
+def test_ring_reawakened_rank_between_query_and_verify_vetoes_halt():
+    det = drive_ring(3)
+    for r in range(3):
+        converge_rank(det, r)
+    token = det.should_launch(0)
+    fwd, _ = det.on_token(1, token)  # rank 1 agreed during the query pass
+    back, d = det.on_token(2, fwd)
+    assert back["phase"] == "verify" and d == -1
+    # A halo message that was in flight when rank 1 answered the query
+    # lands now and wakes it up: its residual jumps above tolerance.
+    det.report(1, 5e-2)
+    assert not det.locally_converged(1)
+    # The verification token reaching the reawakened rank must cancel.
+    cancel, d = det.on_token(1, back)
+    assert cancel == {"phase": "cancel", "epoch": 1} and d == -1
+    assert not det.converged
+    done, d = det.on_token(0, cancel)
+    assert done is None and d == 0
+    # Once the wave settles the ring halts on a fresh epoch — the
+    # vetoed round left no residue.
+    converge_rank(det, 1)
+    token = det.should_launch(0)
+    assert token == {"phase": "query", "epoch": 2}
+    fwd, _ = det.on_token(1, token)
+    back, _ = det.on_token(2, fwd)
+    mid, _ = det.on_token(1, back)
+    halt, _ = det.on_token(0, mid)
+    assert det.converged and halt["phase"] == "halt"
+
+
+def test_ring_reawakened_last_rank_turns_query_into_cancel():
+    det = drive_ring(3)
+    for r in range(3):
+        converge_rank(det, r)
+    token = det.should_launch(0)
+    fwd, _ = det.on_token(1, token)
+    # Reordered halo data reaches the last rank before the query does.
+    det.report(2, 1.0)
+    cancel, d = det.on_token(2, fwd)
+    assert cancel["phase"] == "cancel" and d == -1
+    assert not det.converged
+
+
+def test_ring_migration_between_query_and_verify_vetoes_halt():
+    # A load-balancing migration (reset_rank) between the two passes is
+    # the other reawakening path: the rank's block changed, so its old
+    # persistence streak says nothing about the new block.
+    det = drive_ring(3)
+    for r in range(3):
+        converge_rank(det, r)
+    token = det.should_launch(0)
+    fwd, _ = det.on_token(1, token)
+    back, _ = det.on_token(2, fwd)
+    det.reset_rank(1)
+    cancel, d = det.on_token(1, back)
+    assert cancel["phase"] == "cancel" and d == -1
+    assert not det.converged
+
+
+def test_ring_stale_tokens_from_cancelled_round_are_dropped():
+    # Reordering can deliver a token from a cancelled epoch after a new
+    # round launched; both the stale verify (at rank 0) and the stale
+    # cancel must be ignored, leaving the live round untouched.
+    det = drive_ring(3)
+    for r in range(3):
+        converge_rank(det, r)
+    token = det.should_launch(0)
+    fwd, _ = det.on_token(1, token)
+    stale_verify, _ = det.on_token(2, fwd)  # epoch-1 verify, in flight
+    det.report(1, 1.0)  # reawakening cancels epoch 1 at the next hop
+    cancel, _ = det.on_token(1, stale_verify)
+    det.on_token(0, cancel)  # round closed
+    converge_rank(det, 1)
+    relaunch = det.should_launch(0)
+    assert relaunch["epoch"] == 2
+    # The duplicated epoch-1 verify token (e.g. a retransmitted copy)
+    # finally arrives home: dropped, epoch-2 round still active.
+    dropped, d = det.on_token(0, stale_verify)
+    assert dropped is None and d == 0
+    assert not det.converged
+    assert det.should_launch(0) is None  # round 2 is still in flight
+    # A stale epoch-1 cancel arriving home must not close round 2.
+    stale_cancel = {"phase": "cancel", "epoch": 1}
+    dropped, d = det.on_token(0, stale_cancel)
+    assert dropped is None and d == 0
+    assert det.should_launch(0) is None  # round 2 survived
+    # Round 2 itself still completes.
+    fwd, _ = det.on_token(1, relaunch)
+    back, _ = det.on_token(2, fwd)
+    mid, _ = det.on_token(1, back)
+    halt, _ = det.on_token(0, mid)
+    assert det.converged and halt["phase"] == "halt"

@@ -145,3 +145,72 @@ def test_empty_schedule_roundtrip():
     schedule = FaultSchedule()
     assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
     assert FaultSchedule.from_dict({}) == schedule
+
+
+# ----------------------------------------------------------------------
+# Cross-fault schedule validation (strict mode)
+# ----------------------------------------------------------------------
+def test_schedule_rejects_overlapping_crashes_for_one_host():
+    with pytest.raises(ValueError, match="rank 1 crash intervals overlap"):
+        FaultSchedule(
+            faults=(
+                HostCrash(rank=1, at=2.0, downtime=5.0),
+                HostCrash(rank=1, at=4.0, downtime=1.0),
+            )
+        )
+    # A no-restart crash spans to infinity: any later crash overlaps.
+    with pytest.raises(ValueError, match="rank 0 crash intervals overlap"):
+        FaultSchedule(
+            faults=(
+                HostCrash(rank=0, at=1.0, downtime=None),
+                HostCrash(rank=0, at=100.0, downtime=1.0),
+            )
+        )
+    # Random downtime uses the conservative upper bound.
+    with pytest.raises(ValueError, match="overlap"):
+        FaultSchedule(
+            faults=(
+                HostCrash(rank=2, at=1.0, downtime=(0.5, 4.0)),
+                HostCrash(rank=2, at=3.0, downtime=1.0),
+            )
+        )
+
+
+def test_schedule_accepts_disjoint_crashes_and_other_hosts():
+    FaultSchedule(
+        faults=(
+            HostCrash(rank=1, at=2.0, downtime=1.0),
+            HostCrash(rank=1, at=4.0, downtime=1.0),
+            HostCrash(rank=0, at=2.5, downtime=10.0),  # other rank: free
+        )
+    )
+
+
+def test_schedule_rejects_partition_hidden_inside_crash_window():
+    # Rank 3 is alone in one group and down for the partition's whole
+    # duration: the cut can never be observed.
+    with pytest.raises(ValueError, match="unobservable"):
+        FaultSchedule(
+            faults=(
+                HostCrash(rank=3, at=1.0, downtime=10.0),
+                LinkPartition(t0=2.0, t1=5.0, ranks_a=(0, 1, 2), ranks_b=(3,)),
+            )
+        )
+
+
+def test_schedule_accepts_observable_partitions():
+    # Partition extends past the restart: observable.
+    FaultSchedule(
+        faults=(
+            HostCrash(rank=3, at=1.0, downtime=2.0),
+            LinkPartition(t0=2.0, t1=5.0, ranks_a=(0, 1, 2), ranks_b=(3,)),
+        )
+    )
+    # Crashed rank is in a multi-rank group: its partner still feels
+    # the cut, so full containment is fine.
+    FaultSchedule(
+        faults=(
+            HostCrash(rank=3, at=1.0, downtime=10.0),
+            LinkPartition(t0=2.0, t1=5.0, ranks_a=(0, 1), ranks_b=(2, 3)),
+        )
+    )

@@ -119,3 +119,78 @@ def test_property_synchronous_models_always_correct(platform, seed):
         result = runner(problem(seed), platform, cfg)
         assert result.converged
         assert np.max(result.solution()) < 1e-7
+
+
+@SLOW
+@given(
+    seed=st.integers(0, 50),
+    crash_rank=st.integers(0, 3),
+    crash_at=st.floats(min_value=0.5, max_value=6.0),
+    downtime=st.floats(min_value=0.3, max_value=2.0),
+    loss_rate=st.floats(min_value=0.0, max_value=0.2),
+    period=st.integers(3, 12),
+)
+def test_property_crash_recovery_agrees_with_fault_free(
+    seed, crash_rank, crash_at, downtime, loss_rate, period
+):
+    """Crash + restart (optionally under loss) on AIAC+LB: the run must
+    still converge, agree with its fault-free twin, and end with the
+    partition tiling the component space — the guard invariants hold
+    throughout."""
+    from repro.faults.injector import FaultInjector
+    from repro.faults.models import (
+        FaultSchedule,
+        HostCrash,
+        MessageLoss,
+        ResilienceConfig,
+    )
+    from repro.guard import GuardConfig, InvariantMonitor
+    from repro.problems import HeatProblem
+
+    def heat():
+        return HeatProblem(24, t_end=0.05, n_steps=8)
+
+    platform = build_platform(
+        4, [2000.0, 2500.0, 1800.0, 2200.0], 0.001, 0, False
+    )
+    cfg = SolverConfig(tolerance=1e-6, max_iterations=100_000, max_time=500.0)
+    lb = LBConfig(period=period, min_components=2)
+
+    baseline = run_balanced_aiac(heat(), platform, cfg, lb)
+    assert baseline.converged
+
+    faults = [HostCrash(rank=crash_rank, at=crash_at, downtime=downtime)]
+    if loss_rate > 0.0:
+        faults.append(MessageLoss(loss_rate))
+    schedule = FaultSchedule(
+        faults=tuple(faults),
+        seed=seed,
+        resilience=ResilienceConfig(
+            base_timeout=0.05,
+            heartbeat_period=1.0,
+            liveness_timeout=3.0,
+            checkpoint_every=20,
+        ),
+    )
+    guard = InvariantMonitor(GuardConfig(check_every=32, stall_horizon=50.0))
+    result = run_balanced_aiac(
+        heat(),
+        platform,
+        cfg,
+        lb,
+        injector=FaultInjector(schedule),
+        guard=guard,
+    )
+    assert result.converged
+    guard.verify_halt()  # invariants + no premature termination
+    assert guard.stall_reports == []
+    # The recovered run's answer agrees with the fault-free twin.
+    drift = float(np.max(np.abs(result.solution() - baseline.solution())))
+    assert drift < 1e-3
+    # Conservation at the end: the partition still tiles [0, 24).
+    blocks = sorted(result.final_partition)
+    cursor = 0
+    for lo, hi in blocks:
+        assert lo == cursor
+        cursor = hi
+    assert cursor == 24

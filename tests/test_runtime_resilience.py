@@ -166,6 +166,61 @@ def test_liveness_follows_heartbeats_and_silence():
     assert sim.now == 7.0
 
 
+def test_crash_before_first_heartbeat_is_marked_dead():
+    # Regression: a host that crashes with an unacked transfer pending
+    # used to keep retransmitting from the grave (its retry timer never
+    # checked ``alive``), and every ghost delivery refreshed the
+    # receiver's ``_last_heard`` — so a peer that crashed before its
+    # first heartbeat was never marked dead by ``peer_alive``.
+    resilience = ResilienceConfig(
+        base_timeout=1.0, liveness_timeout=2.5, max_attempts=8
+    )
+    sim, a, b, injector = make_pair(
+        MessageLoss(rate=1.0, t0=0.0, t1=0.5), resilience=resilience
+    )
+    a.register_handler("data", lambda m: None)
+    # b starts a reliable transfer whose first copy is lost, then
+    # crashes before the retry timer (t = base_timeout) fires.
+    assert b.send(a, "data", b"payload", 64.0)
+    sim.at(0.2, lambda: setattr(b, "alive", False))
+    for t in (1.0, 2.0, 3.0, 4.0):  # keep virtual time advancing
+        sim.at(t, lambda: None)
+    sim.run(until=4.0)
+    # No ghost retransmissions: the transfer parked, a never heard
+    # from the dead b, and the liveness view flipped to dead once the
+    # timeout elapsed.
+    assert b.retries == 0
+    assert 1 not in a._last_heard
+    assert not a.peer_alive(1)
+    # Restart re-arms the parked transfer and it completes normally.
+    b.alive = True
+    assert b.resume_parked() == 1
+    sim.run()
+    assert b.retries == 1 and b.sends_failed == 0
+    assert a.peer_alive(1)  # the (live) retransmission was heard
+
+
+def test_resume_parked_skips_transfers_acked_during_downtime():
+    # A copy already on the wire at crash time may deliver and ack
+    # while the sender is down; the parked entry must then resolve
+    # silently at restart instead of retransmitting a completed send.
+    resilience = ResilienceConfig(base_timeout=0.5, max_attempts=8)
+    sim, a, b, _ = make_pair(latency=1.0, resilience=resilience)
+    a.register_handler("data", lambda m: None)
+    assert b.send(a, "data", b"payload", 64.0)  # arrival ≈ t=1.0
+    # Crash after the copy is in flight; the retry timer fires at
+    # t=0.5 with in_flight > 0, re-arms, then fires again at t≈1.0+
+    # after the ack — acked, so nothing parks; force the parked path
+    # by crashing *before* the first timer instead.
+    sim.at(0.1, lambda: setattr(b, "alive", False))
+    sim.run(until=2.5)  # copy lands ≈ t=1.0, ack back ≈ t=2.0
+    assert b._parked and b._parked[0].acked  # ack raced in while down
+    b.alive = True
+    assert b.resume_parked() == 0  # nothing to re-arm
+    sim.run()
+    assert b.retries == 0 and b.sends_failed == 0
+
+
 # ----------------------------------------------------------------------
 # Out-of-order delivery (property over fixed seeds)
 # ----------------------------------------------------------------------

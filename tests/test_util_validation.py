@@ -3,6 +3,7 @@
 import pytest
 
 from repro.util.validation import (
+    check_disjoint_intervals,
     check_in_range,
     check_non_negative,
     check_positive,
@@ -51,3 +52,20 @@ def test_check_type_single_and_tuple():
     assert check_type("x", 3.0, (int, float)) == 3.0
     with pytest.raises(TypeError, match="int"):
         check_type("x", "s", int)
+
+
+def test_check_disjoint_intervals_sorts_and_accepts():
+    assert check_disjoint_intervals("w", [(5.0, 6.0), (1.0, 2.0)]) == [
+        (1.0, 2.0),
+        (5.0, 6.0),
+    ]
+    assert check_disjoint_intervals("w", []) == []
+    assert check_disjoint_intervals("w", [(0.0, 1.0)]) == [(0.0, 1.0)]
+
+
+def test_check_disjoint_intervals_rejects_overlap_and_touch():
+    with pytest.raises(ValueError, match="overlap"):
+        check_disjoint_intervals("w", [(1.0, 3.0), (2.0, 4.0)])
+    # Touching endpoints are ambiguous (no defined event order).
+    with pytest.raises(ValueError, match="overlap"):
+        check_disjoint_intervals("w", [(1.0, 2.0), (2.0, 3.0)])
