@@ -2,13 +2,14 @@
 
 Usage::
 
-    python -m repro figure5 [--full]
-    python -m repro table1 [--full]
+    python -m repro figure5 [--full] [--jobs N] [--no-cache] [--json OUT]
+    python -m repro table1 [--full] [--jobs N] [--no-cache]
     python -m repro figures-1-4
     python -m repro models
     python -m repro resilience [--full] [--json BENCH_resilience.json]
     python -m repro soak [--schedules N] [--seed S] [--out-dir DIR]
     python -m repro ablations [--only period,estimator,...]
+    python -m repro bench-compare OLD.json NEW.json [--threshold 0.1]
     python -m repro metrics figure5 [--tiny|--full] [--out PREFIX] [--profile]
     python -m repro trace figure5 [--tiny|--full] [--out PREFIX] [--profile]
     python -m repro solve --problem brusselator --ranks 4 --lb [--gantt]
@@ -17,6 +18,13 @@ Usage::
 The experiment commands run the corresponding experiment of DESIGN.md §4
 and print the same report the benchmark writes to ``benchmarks/out/``;
 ``solve`` assembles a one-off run from flags.
+
+Every sweep verb (figure5 / table1 / resilience / ablations / soak)
+accepts ``--jobs N`` to fan its independent runs over N worker
+processes and caches finished runs under ``--cache-dir`` (default
+``.repro-cache/``; disable with ``--no-cache``).  Reports are
+byte-identical whatever the jobs/cache combination — see
+``docs/performance.md`` for the contract.
 """
 
 from __future__ import annotations
@@ -29,12 +37,30 @@ from typing import Callable
 __all__ = ["main"]
 
 
+def _engine_for(args: argparse.Namespace):
+    """Build the sweep engine a verb's ``--jobs``/``--cache`` flags ask for."""
+    from repro.exec import RunCache, SweepEngine
+
+    cache = RunCache(args.cache_dir) if args.cache else None
+    return SweepEngine(jobs=args.jobs, cache=cache)
+
+
 def _figure5(args: argparse.Namespace) -> str:
     from repro.experiments import run_figure5
     from repro.workloads import Figure5Scenario
 
     scenario = Figure5Scenario() if args.full else Figure5Scenario.quick()
-    return run_figure5(scenario).report()
+    engine = _engine_for(args)
+    result = run_figure5(scenario, engine=engine)
+    report = result.report()
+    if args.json:
+        from repro.analysis.perf import save_report
+
+        data = result.to_dict()
+        data["engine"] = engine.stats.to_dict(timing=False)
+        save_report(args.json, data)
+        report += f"\nfigure5 report written to {args.json}"
+    return report + f"\n[{engine.stats.summary()}]"
 
 
 def _table1(args: argparse.Namespace) -> str:
@@ -42,7 +68,9 @@ def _table1(args: argparse.Namespace) -> str:
     from repro.workloads import Table1Scenario
 
     scenario = Table1Scenario() if args.full else Table1Scenario.quick()
-    return run_table1(scenario).report()
+    engine = _engine_for(args)
+    report = run_table1(scenario, engine=engine).report()
+    return report + f"\n[{engine.stats.summary()}]"
 
 
 def _figures_1_4(args: argparse.Namespace) -> str:
@@ -67,12 +95,13 @@ def _resilience(args: argparse.Namespace) -> str:
         scenario = ResilienceScenario.tiny()
     else:
         scenario = ResilienceScenario.quick()
-    result = run_resilience(scenario)
+    engine = _engine_for(args)
+    result = run_resilience(scenario, engine=engine)
     report = result.report()
     if args.json:
         result.save_json(args.json)
         report += f"\nresilience report written to {args.json}"
-    return report
+    return report + f"\n[{engine.stats.summary()}]"
 
 
 def _obs_mode(args: argparse.Namespace) -> str:
@@ -142,10 +171,12 @@ def _ablations(args: argparse.Namespace) -> str:
         raise SystemExit(
             f"unknown ablation(s) {unknown}; choose from {sorted(_ABLATIONS)}"
         )
+    engine = _engine_for(args)
     parts = []
     for key in selected:
         fn = getattr(ablations, _ABLATIONS[key])
-        parts.append(fn().report())
+        parts.append(fn(engine=engine).report())
+    parts.append(f"[{engine.stats.summary()}]")
     return "\n\n".join(parts)
 
 
@@ -222,16 +253,19 @@ def _soak(args: argparse.Namespace) -> str:
     from repro.guard.soak import run_soak
 
     models = tuple(args.models.split(",")) if args.models else None
+    engine = _engine_for(args)
     result = run_soak(
         n_schedules=args.schedules,
         seed=args.seed,
         models=models,
         out_dir=args.out_dir,
         shrink=not args.no_shrink,
+        engine=engine,
     )
     if args.json:
         result.save_json(args.json)
     report = result.report()
+    report += f"\n[{engine.stats.summary()}]"
     if args.json:
         report += f"\nsoak report written to {args.json}"
     if not result.ok:
@@ -241,6 +275,22 @@ def _soak(args: argparse.Namespace) -> str:
         raise SystemExit(
             f"soak failed: {len(result.failures)} (schedule x model) "
             f"run(s) violated guard assertions"
+        )
+    return report
+
+
+def _bench_compare(args: argparse.Namespace) -> str:
+    from repro.analysis.perf import compare
+
+    comparison = compare(args.old, args.new, threshold=args.threshold)
+    report = comparison.report()
+    if not comparison.ok:
+        # Print before raising: a regression must exit non-zero for CI.
+        print(report)
+        raise SystemExit(
+            f"bench-compare failed: {len(comparison.regressions)} "
+            f"benchmark(s) regressed by more than "
+            f"{100.0 * args.threshold:.0f}%"
         )
     return report
 
@@ -257,7 +307,31 @@ def _list(args: argparse.Namespace) -> str:
             f"ablations    design-knob sweeps: {', '.join(sorted(_ABLATIONS))}",
             "metrics      experiment run with a metrics sidecar (repro.obs)",
             "trace        experiment run exported as a Perfetto trace",
+            "bench-compare  flag >threshold regressions between two BENCH_*.json",
         ]
+    )
+
+
+def _add_engine_flags(cmd: argparse.ArgumentParser) -> None:
+    """``--jobs`` / ``--cache`` / ``--cache-dir`` for every sweep verb."""
+    from repro.exec import DEFAULT_CACHE_DIR
+
+    cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent runs (default 1: serial)",
+    )
+    cmd.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached run results (--no-cache to recompute everything)",
+    )
+    cmd.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"run-cache directory (default {DEFAULT_CACHE_DIR}/)",
     )
 
 
@@ -284,6 +358,13 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="paper-scale run (minutes) instead of the quick one",
             )
+            _add_engine_flags(cmd)
+        if name == "figure5":
+            cmd.add_argument(
+                "--json",
+                default="",
+                help="write rows + digest + engine stats to this JSON file",
+            )
 
     resilience_cmd = sub.add_parser(
         "resilience", help="execution models under injected faults"
@@ -304,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="also write the report (rows + digest) to this JSON file",
     )
+    _add_engine_flags(resilience_cmd)
 
     for name, fn, helptext in [
         (
@@ -375,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip shrinking failing schedules (faster failure turnaround)",
     )
+    _add_engine_flags(soak_cmd)
 
     ablation_cmd = sub.add_parser("ablations")
     ablation_cmd.set_defaults(handler=_ablations)
@@ -382,6 +465,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         default="",
         help=f"comma-separated subset of: {', '.join(sorted(_ABLATIONS))}",
+    )
+    _add_engine_flags(ablation_cmd)
+
+    bench_cmd = sub.add_parser(
+        "bench-compare",
+        help="compare two BENCH_*.json reports; non-zero exit on regression",
+    )
+    bench_cmd.set_defaults(handler=_bench_compare)
+    bench_cmd.add_argument("old", help="baseline BENCH_*.json")
+    bench_cmd.add_argument("new", help="candidate BENCH_*.json")
+    bench_cmd.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional slowdown that counts as a regression (default 0.10)",
     )
 
     solve_cmd = sub.add_parser("solve", help="run a one-off custom solve")

@@ -1,0 +1,134 @@
+"""Content-addressed run cache for deterministic sweep tasks.
+
+Every task the sweep engine (:mod:`repro.exec.engine`) runs is a pure
+function of its *configuration* — scenario dataclass, fault schedule,
+solver/LB knobs, all seeded through :class:`~repro.util.rng.RngTree` —
+so its result can be addressed by content: the
+:func:`~repro.analysis.perf.stable_digest` of the configuration plus a
+code-version salt.  A second invocation of the same sweep then does zero
+simulation work (``repro figure5 && repro figure5`` hits the cache for
+every run of the second sweep).
+
+Layout
+------
+``{root}/{digest[:2]}/{digest}.json`` — one small JSON envelope per run::
+
+    {"schema": "repro-exec-cache/1", "digest": ..., "key": ..., "payload": ...}
+
+``key`` is the full cache-key material (kept for debuggability: a cache
+entry is self-describing), ``payload`` the task's JSON result.
+
+Invalidation
+------------
+The digest covers ``{"key": key, "salt": salt}``.  The default salt
+(:func:`code_salt`) combines the envelope schema version, the package
+version and :data:`CACHE_EPOCH`; **bump** :data:`CACHE_EPOCH` whenever a
+change alters what any cached run would compute (solver numerics, fault
+semantics, payload fields) without changing the scenario dataclasses.
+Any config change invalidates automatically because the key embeds the
+full scenario ``asdict``.
+
+Corruption tolerance
+--------------------
+A cache read that fails for *any* reason — missing file, truncated or
+garbage JSON, wrong schema, foreign digest — is a miss: the engine
+recomputes and overwrites the entry.  Writes go through a temp file +
+:func:`os.replace`, so a crashed writer never leaves a half-written
+entry under the final name; write errors (read-only filesystem, full
+disk) are swallowed because the cache is strictly an accelerator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.analysis.perf import stable_digest
+
+__all__ = ["CACHE_EPOCH", "CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "RunCache", "code_salt"]
+
+CACHE_SCHEMA = "repro-exec-cache/1"
+
+#: Bump when a code change alters cached results without changing any
+#: scenario/config field (e.g. a solver numerics fix).
+CACHE_EPOCH = 1
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Sentinel distinguishing "miss" from a cached ``None`` payload.
+_MISS = object()
+
+
+def code_salt() -> str:
+    """The default code-version salt mixed into every cache digest."""
+    from repro import __version__
+
+    return f"{CACHE_SCHEMA}:{__version__}:epoch{CACHE_EPOCH}"
+
+
+class RunCache:
+    """Content-addressed store of task payloads under ``root``.
+
+    The cache never decides *what* to key a run by — callers pass the
+    key material (any JSON-serialisable structure) and the cache hashes
+    it together with its salt.  See the module docstring for layout,
+    invalidation and corruption semantics.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR, *, salt: str | None = None) -> None:
+        self.root = root
+        self.salt = salt if salt is not None else code_salt()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunCache(root={self.root!r}, salt={self.salt!r})"
+
+    # ------------------------------------------------------------------
+    def digest_for(self, key: Any) -> str:
+        """Content address of ``key`` under this cache's salt."""
+        return stable_digest({"key": key, "salt": self.salt})
+
+    def path_for(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> tuple[bool, Any]:
+        """Look ``digest`` up; returns ``(hit, payload)``.
+
+        Every failure mode (missing, truncated, garbage, wrong schema,
+        digest mismatch) returns ``(False, None)`` — the caller
+        recomputes and the next :meth:`put` overwrites the bad entry.
+        """
+        try:
+            with open(self.path_for(digest), "r", encoding="utf-8") as fh:
+                envelope = json.load(fh)
+            if envelope["schema"] != CACHE_SCHEMA:
+                return False, None
+            if envelope["digest"] != digest:
+                return False, None
+            payload = envelope["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return False, None
+        return True, payload
+
+    def put(self, digest: str, key: Any, payload: Any) -> None:
+        """Store ``payload`` under ``digest`` (atomic, best-effort)."""
+        path = self.path_for(digest)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        envelope = {
+            "schema": CACHE_SCHEMA,
+            "digest": digest,
+            "key": key,
+            "payload": payload,
+        }
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(envelope, fh, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - cache is an accelerator only
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

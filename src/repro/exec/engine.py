@@ -1,0 +1,269 @@
+"""Deterministic parallel sweep engine.
+
+The paper's results are all *sweeps of independent runs* (Figure 5 is a
+strong-scaling sweep, Table 1 a platform sweep, the resilience and soak
+harnesses a fault-schedule grid).  Each run already owns its randomness
+through :class:`~repro.util.rng.RngTree`, so runs are independent pure
+functions of their configuration — exactly the shape that farms out over
+a worker pool, the same move the paper itself made at the processor
+level (Bahi et al. 2003).
+
+The engine guarantees **byte-identical output regardless of execution
+strategy**:
+
+* results are merged in *submission order*, never completion order;
+* every task's return value is normalised through canonical JSON
+  (:func:`~repro.analysis.perf.canonical_json` + ``json.loads``), so the
+  in-process, worker-pool and cache-hit paths all yield structurally
+  identical payloads (sorted dict keys, tuples as lists, round-tripped
+  floats — Python float repr round-trips exactly, so no value changes);
+* workers run the *same* task function the serial path runs; parallelism
+  never reorders, splits or perturbs a run's RNG streams because each
+  run builds its own from the scenario seed.
+
+Consequently a sweep report's ``stable_digest`` is independent of
+``jobs`` and of whether any run came from the
+:class:`~repro.exec.cache.RunCache` — the contract the ``sweep-smoke``
+CI job and ``tests/test_exec_sweeps.py`` pin.
+
+Task functions must be **top-level callables** (picklable by reference)
+taking picklable arguments; they return a JSON-serialisable payload.  A
+task that raises aborts the sweep (the exception propagates), unless the
+task function itself catches and encodes failures in its payload, as
+:mod:`repro.guard.soak` does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.analysis.perf import canonical_json
+from repro.exec.cache import RunCache
+
+__all__ = ["EngineStats", "SweepEngine", "Task", "default_jobs", "normalise_payload"]
+
+
+def default_jobs() -> int:
+    """Worker count matching the CPUs this process may actually use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def normalise_payload(payload: Any) -> Any:
+    """Canonical-JSON round trip: the engine's single result format.
+
+    Raises ``TypeError`` for non-JSON-serialisable payloads — the
+    engine's task contract is enforced here, on every path, so a task
+    cannot work serially but fail under the pool or the cache.
+    """
+    import json
+
+    return json.loads(canonical_json(payload))
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of sweep work.
+
+    ``fn`` must be a top-level function; ``args``/``kwargs`` must be
+    picklable.  ``key`` is the cache-key material (any JSON structure
+    fully determining the result) — ``None`` marks the task uncacheable.
+    ``label`` is used for error messages and metrics only.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    key: Any = None
+    label: str = ""
+
+
+@dataclass
+class EngineStats:
+    """What one engine did: task counts, cache traffic, utilization.
+
+    ``wall_s`` and ``busy_s`` are real wall-clock quantities — useful
+    for ``BENCH_sweeps.json`` and operator output, but **never** part of
+    any digested report (that would break byte-reproducibility by
+    construction).
+    """
+
+    jobs: int = 1
+    tasks: int = 0
+    hits: int = 0
+    misses: int = 0
+    wall_s: float = 0.0
+    #: Per-worker busy seconds, keyed by worker name ("serial" for the
+    #: in-process path, "worker-{pid}" for pool workers).
+    busy_s: dict[str, float] = field(default_factory=dict)
+
+    def record_busy(self, worker: str, seconds: float) -> None:
+        self.busy_s[worker] = self.busy_s.get(worker, 0.0) + seconds
+
+    def utilization(self) -> dict[str, float]:
+        """Busy fraction of the sweep wall-clock, per worker."""
+        if self.wall_s <= 0.0:
+            return {worker: 0.0 for worker in self.busy_s}
+        return {w: busy / self.wall_s for w, busy in sorted(self.busy_s.items())}
+
+    def to_dict(self, *, timing: bool = True) -> dict[str, Any]:
+        """JSON form; ``timing=False`` drops every wall-clock field,
+        leaving only digest-safe counts."""
+        data: dict[str, Any] = {
+            "jobs": self.jobs,
+            "tasks": self.tasks,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+        }
+        if timing:
+            data["wall_s"] = self.wall_s
+            data["busy_s"] = dict(sorted(self.busy_s.items()))
+            data["utilization"] = self.utilization()
+        return data
+
+    def export_metrics(self, registry: Any, *, run: str = "") -> None:
+        """Scrape into a :class:`~repro.obs.registry.MetricsRegistry`.
+
+        Counter/gauge names follow the repo's ``subsystem.metric``
+        convention.  The wall-clock gauges make the registry's digest
+        machine-dependent; keep engine metrics out of sidecars whose
+        digest CI pins (the experiment harnesses already do).
+        """
+        registry.counter("exec.tasks", run=run).inc(self.tasks)
+        registry.counter("exec.cache_hits", run=run).inc(self.hits)
+        registry.counter("exec.cache_misses", run=run).inc(self.misses)
+        registry.gauge("exec.jobs", run=run).set(self.jobs)
+        registry.gauge("exec.wall_s", run=run).set(self.wall_s)
+        for worker, busy in sorted(self.busy_s.items()):
+            registry.gauge("exec.worker_busy_s", run=run, worker=worker).set(busy)
+
+    def summary(self) -> str:
+        """One operator-facing line (wall-clock; not digest material)."""
+        util = self.utilization()
+        mean_util = sum(util.values()) / len(util) if util else 0.0
+        cache = (
+            f"{self.hits} hit(s) / {self.misses} miss(es)"
+            if self.hits or self.misses
+            else "off"
+        )
+        return (
+            f"sweep engine: {self.tasks} task(s), jobs={self.jobs}, "
+            f"cache {cache}, {self.wall_s:.1f}s wall, "
+            f"{len(self.busy_s)} worker(s) at {100.0 * mean_util:.0f}% mean busy"
+        )
+
+
+def _invoke(item: tuple[Callable[..., Any], tuple, dict]) -> tuple[str, float, Any]:
+    """Pool worker body: run one task, stamp worker identity + busy time."""
+    fn, args, kwargs = item
+    t0 = time.perf_counter()
+    payload = normalise_payload(fn(*args, **kwargs))
+    return f"worker-{os.getpid()}", time.perf_counter() - t0, payload
+
+
+class SweepEngine:
+    """Fans independent tasks over a process pool; merges deterministically.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs every task in
+        process — the serial fallback path, also taken whenever fewer
+        than two tasks actually need computing or the platform cannot
+        provide a pool.
+    cache:
+        Optional :class:`~repro.exec.cache.RunCache`.  Tasks with a
+        ``key`` are looked up before any work is scheduled and stored
+        after computing.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (instant workers sharing the parent's imports) and falls back
+        to the platform default elsewhere.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: RunCache | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self.stats = EngineStats(jobs=jobs)
+
+    # ------------------------------------------------------------------
+    def map(self, tasks: Sequence[Task]) -> list[Any]:
+        """Run ``tasks``; return payloads in submission order."""
+        t0 = time.perf_counter()
+        results: list[Any] = [None] * len(tasks)
+        pending: list[tuple[int, Task, str | None]] = []
+        for index, task in enumerate(tasks):
+            self.stats.tasks += 1
+            digest: str | None = None
+            if self.cache is not None and task.key is not None:
+                digest = self.cache.digest_for(task.key)
+                hit, payload = self.cache.get(digest)
+                if hit:
+                    self.stats.hits += 1
+                    results[index] = payload
+                    continue
+                self.stats.misses += 1
+            pending.append((index, task, digest))
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                computed = self._map_pool(pending)
+            else:
+                computed = self._map_serial(pending)
+            for (index, task, digest), payload in zip(pending, computed):
+                if self.cache is not None and digest is not None:
+                    self.cache.put(digest, task.key, payload)
+                results[index] = payload
+
+        self.stats.wall_s += time.perf_counter() - t0
+        return results
+
+    def export_metrics(self, registry: Any, *, run: str = "") -> None:
+        self.stats.export_metrics(registry, run=run)
+
+    # ------------------------------------------------------------------
+    def _map_serial(self, pending: list[tuple[int, Task, str | None]]) -> list[Any]:
+        payloads = []
+        for _, task, _ in pending:
+            t0 = time.perf_counter()
+            payloads.append(
+                normalise_payload(task.fn(*task.args, **dict(task.kwargs)))
+            )
+            self.stats.record_busy("serial", time.perf_counter() - t0)
+        return payloads
+
+    def _map_pool(self, pending: list[tuple[int, Task, str | None]]) -> list[Any]:
+        items = [(task.fn, task.args, dict(task.kwargs)) for _, task, _ in pending]
+        try:
+            context = multiprocessing.get_context(self.start_method)
+            pool = context.Pool(processes=min(self.jobs, len(items)))
+        except (OSError, ValueError):  # pragma: no cover - pool unavailable
+            return self._map_serial(pending)
+        with pool:
+            # chunksize=1: sweep tasks are seconds-long simulations, so
+            # scheduling overhead is negligible and per-task dispatch
+            # keeps the slowest-run tail from serialising behind a chunk.
+            stamped = pool.map(_invoke, items, chunksize=1)
+        payloads = []
+        for worker, busy, payload in stamped:
+            self.stats.record_busy(worker, busy)
+            payloads.append(payload)
+        return payloads

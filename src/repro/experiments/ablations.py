@@ -10,7 +10,7 @@ actual trade-off curves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Sequence
 
 from repro.analysis.reporting import format_table
@@ -18,6 +18,13 @@ from repro.core.config import LBConfig, SolverConfig
 from repro.core.lb import run_balanced_aiac
 from repro.core.solver import run_aiac
 from repro.workloads.scenarios import Figure5Scenario
+
+
+def _engine_or_serial(engine):
+    """The caller's engine, or the default serial in-process one."""
+    from repro.exec import SweepEngine
+
+    return engine if engine is not None else SweepEngine()
 
 __all__ = [
     "AblationResult",
@@ -68,15 +75,35 @@ def _default_setup(n_procs: int = 8):
     return problem_factory, platform, config, base_lb
 
 
+def _sweep_task(
+    n_procs: int, parameter: str, value: Any, fixed: dict[str, Any]
+) -> dict[str, Any]:
+    """Engine task: one balanced run at one knob setting.
+
+    The whole setup is rebuilt from the (deterministic, RNG-free)
+    default scenario inside the task, so the worker-pool path computes
+    exactly what the serial loop computed.
+    """
+    problem_factory, platform, config, base_lb = _default_setup(n_procs)
+    lb = replace(base_lb, **{parameter: value}, **fixed)
+    run = run_balanced_aiac(problem_factory(), platform, config, lb)
+    if not run.converged:
+        raise RuntimeError(f"ablation run with {parameter}={value} diverged")
+    return {"time": run.time, "migrations": run.n_migrations}
+
+
 def _sweep(
     name: str,
     parameter: str,
     values: Sequence[Any],
     *,
     n_procs: int = 8,
+    engine=None,
     **fixed,
 ) -> AblationResult:
-    problem_factory, platform, config, base_lb = _default_setup(n_procs)
+    from repro.exec import Task
+
+    engine = _engine_or_serial(engine)
     result = AblationResult(
         name=name,
         parameter=parameter,
@@ -85,27 +112,46 @@ def _sweep(
         migrations=[],
         extra={},
     )
-    for value in values:
-        lb = replace(base_lb, **{parameter: value}, **fixed)
-        run = run_balanced_aiac(problem_factory(), platform, config, lb)
-        if not run.converged:
-            raise RuntimeError(f"{name}: run with {parameter}={value} diverged")
-        result.times.append(run.time)
-        result.migrations.append(run.n_migrations)
+    tasks = [
+        Task(
+            fn=_sweep_task,
+            args=(n_procs, parameter, value, dict(fixed)),
+            key={
+                "experiment": "ablation-sweep",
+                "scenario": asdict(Figure5Scenario.quick()),
+                "n_procs": n_procs,
+                "parameter": parameter,
+                "value": value,
+                "fixed": dict(fixed),
+            },
+            label=f"ablation/{parameter}={value}",
+        )
+        for value in values
+    ]
+    for payload in engine.map(tasks):
+        result.times.append(payload["time"])
+        result.migrations.append(payload["migrations"])
     return result
 
 
 def sweep_lb_period(
-    values: Sequence[int] = (1, 5, 20, 80, 320), *, n_procs: int = 8
+    values: Sequence[int] = (1, 5, 20, 80, 320),
+    *,
+    n_procs: int = 8,
+    engine=None,
 ) -> AblationResult:
     """§6: frequency "neither too high ... nor too low"."""
     return _sweep(
-        "LB frequency (OkToTryLB period)", "period", values, n_procs=n_procs
+        "LB frequency (OkToTryLB period)", "period", values,
+        n_procs=n_procs, engine=engine,
     )
 
 
 def sweep_threshold_ratio(
-    values: Sequence[float] = (1.2, 2.0, 3.0, 8.0, 64.0), *, n_procs: int = 8
+    values: Sequence[float] = (1.2, 2.0, 3.0, 8.0, 64.0),
+    *,
+    n_procs: int = 8,
+    engine=None,
 ) -> AblationResult:
     """Trigger sensitivity (Algorithm 5's ThresholdRatio)."""
     return _sweep(
@@ -113,18 +159,25 @@ def sweep_threshold_ratio(
         "threshold_ratio",
         values,
         n_procs=n_procs,
+        engine=engine,
     )
 
 
 def sweep_accuracy(
-    values: Sequence[float] = (0.1, 0.25, 0.5, 1.0), *, n_procs: int = 8
+    values: Sequence[float] = (0.1, 0.25, 0.5, 1.0),
+    *,
+    n_procs: int = 8,
+    engine=None,
 ) -> AblationResult:
     """§6: coarse vs accurate balancing (amount of data migrated)."""
-    return _sweep("migration accuracy", "accuracy", values, n_procs=n_procs)
+    return _sweep(
+        "migration accuracy", "accuracy", values,
+        n_procs=n_procs, engine=engine,
+    )
 
 
 def sweep_min_components(
-    values: Sequence[int] = (2, 4, 8, 16), *, n_procs: int = 8
+    values: Sequence[int] = (2, 4, 8, 16), *, n_procs: int = 8, engine=None
 ) -> AblationResult:
     """Famine guard (Algorithm 5's ThresholdData)."""
     return _sweep(
@@ -132,6 +185,7 @@ def sweep_min_components(
         "min_components",
         values,
         n_procs=n_procs,
+        engine=engine,
     )
 
 
@@ -144,18 +198,37 @@ def sweep_estimator(
     ),
     *,
     n_procs: int = 8,
+    engine=None,
 ) -> AblationResult:
     """§5.2: the residual against the estimators the paper dismisses."""
-    return _sweep("load estimator", "estimator", values, n_procs=n_procs)
+    return _sweep(
+        "load estimator", "estimator", values, n_procs=n_procs, engine=engine
+    )
 
 
-def compare_adaptive_period(*, n_procs: int = 8) -> AblationResult:
+def _candidate_task(n_procs: int, name: str, lb: LBConfig) -> dict[str, Any]:
+    """Engine task: one named LB-config candidate run."""
+    problem_factory, platform, config, _ = _default_setup(n_procs)
+    run = run_balanced_aiac(problem_factory(), platform, config, lb)
+    if not run.converged:
+        raise RuntimeError(f"adaptive ablation: {name} diverged")
+    return {
+        "time": run.time,
+        "migrations": run.n_migrations,
+        "offers": run.meta["offers_sent"],
+    }
+
+
+def compare_adaptive_period(*, n_procs: int = 8, engine=None) -> AblationResult:
     """Fixed trial periods vs the adaptive controller (paper future work).
 
     The adaptive variant should be competitive with the best fixed
     period while sending fewer offers once the system is balanced.
     """
-    problem_factory, platform, config, base_lb = _default_setup(n_procs)
+    from repro.exec import Task
+
+    engine = _engine_or_serial(engine)
+    _, _, _, base_lb = _default_setup(n_procs)
     result = AblationResult(
         name="adaptive LB frequency (paper's future work)",
         parameter="mode",
@@ -177,36 +250,38 @@ def compare_adaptive_period(*, n_procs: int = 8) -> AblationResult:
             replace(base_lb, period=5, adaptive=True, period_min=2, period_max=20),
         ),
     ]
-    for name, lb in candidates:
-        run = run_balanced_aiac(problem_factory(), platform, config, lb)
-        if not run.converged:
-            raise RuntimeError(f"adaptive ablation: {name} diverged")
+    tasks = [
+        Task(
+            fn=_candidate_task,
+            args=(n_procs, name, lb),
+            key={
+                "experiment": "ablation-adaptive",
+                "scenario": asdict(Figure5Scenario.quick()),
+                "n_procs": n_procs,
+                "candidate": name,
+                "lb": asdict(lb),
+            },
+            label=f"ablation/adaptive/{name}",
+        )
+        for name, lb in candidates
+    ]
+    for (name, _), payload in zip(candidates, engine.map(tasks)):
         result.values.append(name)
-        result.times.append(run.time)
-        result.migrations.append(run.n_migrations)
-        result.extra["offers"].append(run.meta["offers_sent"])
+        result.times.append(payload["time"])
+        result.migrations.append(payload["migrations"])
+        result.extra["offers"].append(payload["offers"])
     return result
 
 
-def compare_skip_optimisation() -> AblationResult:
-    """Brusselator with/without the converged-component skip.
-
-    On a *homogeneous* platform the Brusselator's components quiesce
-    together and the skip never engages (measured: identical work — the
-    honest finding of EXPERIMENTS.md).  The regime where it bites is
-    asynchrony-induced non-uniformity: on a two-speed platform the fast
-    ranks' components sit fully converged while the slow rank grinds,
-    and skipping makes those verification sweeps nearly free.  The skip
-    variant must produce the same trajectories with less total numerical
-    work.
-    """
+def _skip_task(skip: bool) -> dict[str, Any]:
+    """Engine task: one Brusselator run with/without the converged skip."""
     from repro.grid.host import Host
     from repro.grid.link import Link
     from repro.grid.network import Network
     from repro.grid.platform import Platform
     from repro.problems.brusselator import BrusselatorProblem
 
-    def problem(skip: bool) -> BrusselatorProblem:
+    def problem(skip_converged: bool) -> BrusselatorProblem:
         # skip_threshold sits *above* the solver tolerance (1e-7): a
         # skipped component's inputs change by < 1e-5, a staleness the
         # refresh period bounds; with the threshold below the tolerance
@@ -215,7 +290,7 @@ def compare_skip_optimisation() -> AblationResult:
             48,
             t_end=4.0,
             n_steps=30,
-            skip_converged=skip,
+            skip_converged=skip_converged,
             skip_threshold=1e-5,
             refresh_period=20,
         )
@@ -238,8 +313,33 @@ def compare_skip_optimisation() -> AblationResult:
         trace=True,
         min_sweep_duration=0.01,
     )
+    run = run_aiac(problem(skip), platform, config)
+    if not run.converged:
+        raise RuntimeError(f"skip={skip} run diverged")
     reference = problem(False).reference_solution()
+    return {
+        "time": run.time,
+        "migrations": run.n_migrations,
+        "work": sum(span.work for span in run.tracer.iterations),
+        "max_error": run.max_error_vs(reference),
+    }
 
+
+def compare_skip_optimisation(*, engine=None) -> AblationResult:
+    """Brusselator with/without the converged-component skip.
+
+    On a *homogeneous* platform the Brusselator's components quiesce
+    together and the skip never engages (measured: identical work — the
+    honest finding of EXPERIMENTS.md).  The regime where it bites is
+    asynchrony-induced non-uniformity: on a two-speed platform the fast
+    ranks' components sit fully converged while the slow rank grinds,
+    and skipping makes those verification sweeps nearly free.  The skip
+    variant must produce the same trajectories with less total numerical
+    work.
+    """
+    from repro.exec import Task
+
+    engine = _engine_or_serial(engine)
     result = AblationResult(
         name="Brusselator converged-component skip",
         parameter="skip_converged",
@@ -248,26 +348,50 @@ def compare_skip_optimisation() -> AblationResult:
         migrations=[],
         extra={"total work": [], "max error": []},
     )
-    for skip in (False, True):
-        run = run_aiac(problem(skip), platform, config)
-        if not run.converged:
-            raise RuntimeError(f"skip={skip} run diverged")
-        result.values.append(skip)
-        result.times.append(run.time)
-        result.migrations.append(run.n_migrations)
-        total_work = sum(
-            span.work for span in run.tracer.iterations
+    tasks = [
+        Task(
+            fn=_skip_task,
+            args=(skip,),
+            key={"experiment": "ablation-skip", "skip": skip},
+            label=f"ablation/skip={skip}",
         )
-        result.extra["total work"].append(total_work)
-        result.extra["max error"].append(run.max_error_vs(reference))
+        for skip in (False, True)
+    ]
+    for skip, payload in zip((False, True), engine.map(tasks)):
+        result.values.append(skip)
+        result.times.append(payload["time"])
+        result.migrations.append(payload["migrations"])
+        result.extra["total work"].append(payload["work"])
+        result.extra["max error"].append(payload["max_error"])
     return result
 
 
+def _detection_task(n_procs: int, detection: str) -> dict[str, Any]:
+    """Engine task: one run under one convergence-detection protocol."""
+    problem_factory, platform, config, _ = _default_setup(n_procs)
+    cfg = replace(config, detection=detection)
+    run = run_aiac(problem_factory(), platform, cfg)
+    if not run.converged:
+        raise RuntimeError(f"detection={detection} run diverged")
+    oracle_time = run.meta["oracle_detection_time"]
+    overhead = (
+        run.time - oracle_time if oracle_time is not None else float("nan")
+    )
+    return {
+        "time": run.time,
+        "migrations": run.n_migrations,
+        "messages": run.meta["detection_messages"],
+        "overhead": overhead,
+    }
+
+
 def compare_detection_protocols(
-    *, n_procs: int = 8
+    *, n_procs: int = 8, engine=None
 ) -> AblationResult:
     """Oracle vs decentralized token-ring convergence detection."""
-    problem_factory, platform, config, _ = _default_setup(n_procs)
+    from repro.exec import Task
+
+    engine = _engine_or_serial(engine)
     result = AblationResult(
         name="convergence detection protocol",
         parameter="detection",
@@ -276,20 +400,25 @@ def compare_detection_protocols(
         migrations=[],
         extra={"detection messages": [], "overhead (s)": []},
     )
-    for detection in ("oracle", "token_ring"):
-        cfg = replace(config, detection=detection)
-        run = run_aiac(problem_factory(), platform, cfg)
-        if not run.converged:
-            raise RuntimeError(f"detection={detection} run diverged")
+    protocols = ("oracle", "token_ring")
+    tasks = [
+        Task(
+            fn=_detection_task,
+            args=(n_procs, detection),
+            key={
+                "experiment": "ablation-detection",
+                "scenario": asdict(Figure5Scenario.quick()),
+                "n_procs": n_procs,
+                "detection": detection,
+            },
+            label=f"ablation/detection={detection}",
+        )
+        for detection in protocols
+    ]
+    for detection, payload in zip(protocols, engine.map(tasks)):
         result.values.append(detection)
-        result.times.append(run.time)
-        result.migrations.append(run.n_migrations)
-        result.extra["detection messages"].append(
-            run.meta["detection_messages"]
-        )
-        oracle_time = run.meta["oracle_detection_time"]
-        overhead = (
-            run.time - oracle_time if oracle_time is not None else float("nan")
-        )
-        result.extra["overhead (s)"].append(overhead)
+        result.times.append(payload["time"])
+        result.migrations.append(payload["migrations"])
+        result.extra["detection messages"].append(payload["messages"])
+        result.extra["overhead (s)"].append(payload["overhead"])
     return result

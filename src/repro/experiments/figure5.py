@@ -15,11 +15,14 @@ substantially-greater-than-1 ratio.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
+from repro.analysis.perf import save_report, stable_digest
 from repro.analysis.plots import ascii_plot
 from repro.analysis.reporting import format_table
 from repro.core.lb import run_balanced_aiac
+from repro.core.records import RunResult
 from repro.core.solver import run_aiac
 from repro.workloads.scenarios import Figure5Scenario
 
@@ -46,7 +49,54 @@ class Figure5Result:
         ratios = self.ratios
         return sum(ratios) / len(ratios)
 
+    def _column_lengths_ok(self) -> None:
+        n = len(self.proc_counts)
+        if not (len(self.time_unbalanced) == len(self.time_balanced) == n):
+            raise ValueError(
+                f"figure5 result columns disagree: {n} proc counts, "
+                f"{len(self.time_unbalanced)} unbalanced times, "
+                f"{len(self.time_balanced)} balanced times"
+            )
+        if self.migrations and len(self.migrations) != n:
+            raise ValueError(
+                f"figure5 result has {len(self.migrations)} migration "
+                f"counts for {n} proc counts"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        self._column_lengths_ok()
+        return {
+            "title": "figure5: execution time vs processors",
+            "proc_counts": list(self.proc_counts),
+            "time_unbalanced": list(self.time_unbalanced),
+            "time_balanced": list(self.time_balanced),
+            "migrations": list(self.migrations),
+            "ratios": self.ratios,
+            "mean_ratio": self.mean_ratio,
+            "digest": self.digest(),
+        }
+
+    def digest(self) -> str:
+        """Reproducibility fingerprint (virtual-time quantities only)."""
+        return stable_digest(
+            {
+                "proc_counts": list(self.proc_counts),
+                "time_unbalanced": list(self.time_unbalanced),
+                "time_balanced": list(self.time_balanced),
+                "migrations": list(self.migrations),
+            }
+        )
+
+    def save_json(self, path: str) -> None:
+        """Write the result rows + digest as sorted-key JSON."""
+        save_report(path, self.to_dict())
+
     def report(self) -> str:
+        # An empty migrations column (a result built before the sweep
+        # recorded any) must not silently truncate the five-way zip to
+        # zero rows; pad it, and reject genuinely inconsistent lengths.
+        self._column_lengths_ok()
+        migrations = self.migrations or [0] * len(self.proc_counts)
         rows = [
             (p, tu, tb, r, m)
             for p, tu, tb, r, m in zip(
@@ -54,7 +104,7 @@ class Figure5Result:
                 self.time_unbalanced,
                 self.time_balanced,
                 self.ratios,
-                self.migrations,
+                migrations,
             )
         ]
         table = format_table(
@@ -81,15 +131,47 @@ class Figure5Result:
         )
 
 
+def _solve_one(scenario: Figure5Scenario, p: int, version: str) -> RunResult:
+    """One Figure 5 run: ``version`` in {"unbalanced", "balanced"} at ``p``."""
+    platform = scenario.platform(p)
+    config = scenario.solver_config()
+    if version == "balanced":
+        return run_balanced_aiac(
+            scenario.problem(), platform, config, scenario.lb_config()
+        )
+    return run_aiac(scenario.problem(), platform, config)
+
+
+def _sweep_task(scenario: Figure5Scenario, p: int, version: str) -> dict:
+    """Engine task: one run reduced to its sweep payload (top-level so the
+    worker pool can pickle it by reference)."""
+    result = _solve_one(scenario, p, version)
+    if not result.converged:
+        raise RuntimeError(
+            f"figure5 run did not converge at p={p} ({version})"
+        )
+    return {"time": result.time, "migrations": result.n_migrations}
+
+
 def run_figure5(
-    scenario: Figure5Scenario | None = None, *, sidecar=None
+    scenario: Figure5Scenario | None = None, *, sidecar=None, engine=None
 ) -> Figure5Result:
     """Run the full Figure 5 sweep; use ``Figure5Scenario.quick()`` for CI.
 
+    ``engine`` optionally supplies a
+    :class:`~repro.exec.SweepEngine` to fan the independent
+    ``(p, version)`` runs over a worker pool and/or serve them from the
+    run cache; the default is the serial in-process engine.  The result
+    is byte-identical either way (each run owns its seeds).
+
     ``sidecar`` optionally attaches a
     :class:`~repro.obs.harness.MetricsSidecar`: every run's metrics are
-    scraped into it under ``run="p{p}/{version}"`` labels.
+    scraped into it under ``run="p{p}/{version}"`` labels.  The sidecar
+    scrapes live :class:`RunResult` objects, so an observed sweep always
+    executes serially in process, bypassing pool and cache.
     """
+    from repro.exec import SweepEngine, Task
+
     scenario = scenario if scenario is not None else Figure5Scenario()
     result = Figure5Result(
         proc_counts=list(scenario.proc_counts),
@@ -97,22 +179,43 @@ def run_figure5(
         time_balanced=[],
         migrations=[],
     )
-    for p in scenario.proc_counts:
-        platform = scenario.platform(p)
-        config = scenario.solver_config()
-        unbalanced = run_aiac(scenario.problem(), platform, config)
-        balanced = run_balanced_aiac(
-            scenario.problem(), platform, config, scenario.lb_config()
-        )
-        if not (unbalanced.converged and balanced.converged):
-            raise RuntimeError(
-                f"figure5 run did not converge at p={p}: "
-                f"unbalanced={unbalanced.converged}, balanced={balanced.converged}"
-            )
-        if sidecar is not None:
+    if sidecar is not None:
+        for p in scenario.proc_counts:
+            unbalanced = _solve_one(scenario, p, "unbalanced")
+            balanced = _solve_one(scenario, p, "balanced")
+            if not (unbalanced.converged and balanced.converged):
+                raise RuntimeError(
+                    f"figure5 run did not converge at p={p}: "
+                    f"unbalanced={unbalanced.converged}, "
+                    f"balanced={balanced.converged}"
+                )
             sidecar.collect(unbalanced, run=f"p{p}/unbalanced")
             sidecar.collect(balanced, run=f"p{p}/balanced")
-        result.time_unbalanced.append(unbalanced.time)
-        result.time_balanced.append(balanced.time)
-        result.migrations.append(balanced.n_migrations)
+            result.time_unbalanced.append(unbalanced.time)
+            result.time_balanced.append(balanced.time)
+            result.migrations.append(balanced.n_migrations)
+        return result
+
+    engine = engine if engine is not None else SweepEngine()
+    tasks = [
+        Task(
+            fn=_sweep_task,
+            args=(scenario, p, version),
+            key={
+                "experiment": "figure5",
+                "scenario": asdict(scenario),
+                "p": p,
+                "version": version,
+            },
+            label=f"figure5/p{p}/{version}",
+        )
+        for p in scenario.proc_counts
+        for version in ("unbalanced", "balanced")
+    ]
+    payloads = engine.map(tasks)
+    for i, p in enumerate(scenario.proc_counts):
+        unbalanced, balanced = payloads[2 * i], payloads[2 * i + 1]
+        result.time_unbalanced.append(unbalanced["time"])
+        result.time_balanced.append(balanced["time"])
+        result.migrations.append(balanced["migrations"])
     return result

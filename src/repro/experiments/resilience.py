@@ -199,34 +199,78 @@ def _make_row(
     return row
 
 
+def _sweep_task(
+    scenario: ResilienceScenario, schedule_name: str, model: str
+) -> dict[str, Any]:
+    """Engine task: one (schedule, model) run reduced to its report row.
+
+    Top-level (picklable by reference) so the sweep engine's worker
+    pool can run it; the sequential reference is recomputed per task —
+    it is a deterministic function of the scenario, so every path sees
+    the same values.
+    """
+    result, injector = _run_model(model, scenario, schedule_name)
+    reference = scenario.problem().reference_solution()
+    return _make_row(schedule_name, model, result, reference, injector.stats)
+
+
 def run_resilience(
-    scenario: ResilienceScenario | None = None, *, sidecar=None
+    scenario: ResilienceScenario | None = None, *, sidecar=None, engine=None
 ) -> ResilienceResult:
     """Run the resilience sweep; ``ResilienceScenario.tiny()`` for CI.
+
+    ``engine`` optionally supplies a :class:`~repro.exec.SweepEngine`:
+    the (schedule, model) grid fans out over its worker pool and/or is
+    served from its run cache, with rows merged in grid order so the
+    report and its digest are byte-identical to the serial path.  The
+    traced headline run always executes in process (it feeds the Gantt
+    renderer a live tracer) and is never cached.
 
     ``sidecar`` optionally attaches a
     :class:`~repro.obs.harness.MetricsSidecar`: every sweep run's
     metrics (including the injector's counters) are scraped into it
-    under ``run="{schedule}/{model}"`` labels.
+    under ``run="{schedule}/{model}"`` labels.  An observed sweep
+    always executes serially in process, bypassing pool and cache.
     """
+    from repro.exec import SweepEngine, Task
+
     scenario = scenario if scenario is not None else ResilienceScenario()
-    reference = scenario.problem().reference_solution()
     out = ResilienceResult(scenario=scenario)
-    for schedule_name in scenario.schedule_names:
-        for model in scenario.models:
-            # The headline run is re-traced below; sweep runs stay lean.
-            result, injector = _run_model(model, scenario, schedule_name)
-            if sidecar is not None:
+    if sidecar is not None:
+        reference = scenario.problem().reference_solution()
+        for schedule_name in scenario.schedule_names:
+            for model in scenario.models:
+                # The headline run is re-traced below; sweep runs stay lean.
+                result, injector = _run_model(model, scenario, schedule_name)
                 sidecar.collect(
                     result,
                     run=f"{schedule_name}/{model}",
                     injector=injector,
                 )
-            out.rows.append(
-                _make_row(
-                    schedule_name, model, result, reference, injector.stats
+                out.rows.append(
+                    _make_row(
+                        schedule_name, model, result, reference, injector.stats
+                    )
                 )
+    else:
+        engine = engine if engine is not None else SweepEngine()
+        scenario_key = asdict(scenario)
+        tasks = [
+            Task(
+                fn=_sweep_task,
+                args=(scenario, schedule_name, model),
+                key={
+                    "experiment": "resilience",
+                    "scenario": scenario_key,
+                    "schedule": schedule_name,
+                    "model": model,
+                },
+                label=f"resilience/{schedule_name}/{model}",
             )
+            for schedule_name in scenario.schedule_names
+            for model in scenario.models
+        ]
+        out.rows.extend(engine.map(tasks))
     if scenario.headline in scenario.schedule_names:
         from repro.analysis.gantt import render_gantt
 

@@ -16,7 +16,7 @@ the network bytes spent on migrations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.analysis.reporting import format_table
 from repro.core.lb import run_balanced_aiac
@@ -34,8 +34,10 @@ class Table1Result:
     migrations: int
     components_migrated: int
     final_sizes: list[int]
-    unbalanced: RunResult
-    balanced: RunResult
+    #: Full run records; populated only on the in-process (sidecar)
+    #: path — engine runs reduce to payloads before crossing processes.
+    unbalanced: RunResult | None = None
+    balanced: RunResult | None = None
 
     @property
     def ratio(self) -> float:
@@ -63,42 +65,91 @@ class Table1Result:
         )
 
 
-def run_table1(
-    scenario: Table1Scenario | None = None, *, sidecar=None
-) -> Table1Result:
-    """Run the Table 1 experiment (use ``Table1Scenario.quick()`` for CI).
-
-    ``sidecar`` optionally attaches a
-    :class:`~repro.obs.harness.MetricsSidecar` scraping both runs.
-    """
-    scenario = scenario if scenario is not None else Table1Scenario()
+def _solve_one(scenario: Table1Scenario, version: str) -> RunResult:
+    """One Table 1 run: ``version`` in {"unbalanced", "balanced"}."""
     platform = scenario.platform()
     order = scenario.host_order(platform)
     config = scenario.solver_config()
-    unbalanced = run_aiac(
-        scenario.problem(), platform, config, host_order=order
-    )
-    balanced = run_balanced_aiac(
-        scenario.problem(),
-        platform,
-        config,
-        scenario.lb_config(),
-        host_order=order,
-    )
-    if not (unbalanced.converged and balanced.converged):
-        raise RuntimeError(
-            f"table1 run did not converge: unbalanced={unbalanced.converged}, "
-            f"balanced={balanced.converged}"
+    if version == "balanced":
+        return run_balanced_aiac(
+            scenario.problem(),
+            platform,
+            config,
+            scenario.lb_config(),
+            host_order=order,
         )
+    return run_aiac(scenario.problem(), platform, config, host_order=order)
+
+
+def _sweep_task(scenario: Table1Scenario, version: str) -> dict:
+    """Engine task: one run reduced to its sweep payload."""
+    result = _solve_one(scenario, version)
+    if not result.converged:
+        raise RuntimeError(f"table1 {version} run did not converge")
+    return {
+        "time": result.time,
+        "migrations": result.n_migrations,
+        "components_migrated": result.components_migrated,
+        "final_sizes": list(result.meta.get("final_sizes", ())),
+    }
+
+
+def run_table1(
+    scenario: Table1Scenario | None = None, *, sidecar=None, engine=None
+) -> Table1Result:
+    """Run the Table 1 experiment (use ``Table1Scenario.quick()`` for CI).
+
+    ``engine`` optionally supplies a :class:`~repro.exec.SweepEngine`
+    (worker pool + run cache) for the two independent runs; the result
+    values are byte-identical to the serial path.  ``sidecar``
+    optionally attaches a :class:`~repro.obs.harness.MetricsSidecar`
+    scraping both runs; an observed sweep always executes serially in
+    process (the sidecar needs the live run records), bypassing pool
+    and cache.
+    """
+    from repro.exec import SweepEngine, Task
+
+    scenario = scenario if scenario is not None else Table1Scenario()
     if sidecar is not None:
+        unbalanced = _solve_one(scenario, "unbalanced")
+        balanced = _solve_one(scenario, "balanced")
+        if not (unbalanced.converged and balanced.converged):
+            raise RuntimeError(
+                f"table1 run did not converge: "
+                f"unbalanced={unbalanced.converged}, "
+                f"balanced={balanced.converged}"
+            )
         sidecar.collect(unbalanced, run="unbalanced")
         sidecar.collect(balanced, run="balanced")
+        return Table1Result(
+            time_unbalanced=unbalanced.time,
+            time_balanced=balanced.time,
+            migrations=balanced.n_migrations,
+            components_migrated=balanced.components_migrated,
+            final_sizes=balanced.meta["final_sizes"],
+            unbalanced=unbalanced,
+            balanced=balanced,
+        )
+
+    engine = engine if engine is not None else SweepEngine()
+    tasks = [
+        Task(
+            fn=_sweep_task,
+            args=(scenario, version),
+            key={
+                "experiment": "table1",
+                "scenario": asdict(scenario),
+                "version": version,
+            },
+            label=f"table1/{version}",
+        )
+        for version in ("unbalanced", "balanced")
+    ]
+    unbalanced_row, balanced_row = engine.map(tasks)
     return Table1Result(
-        time_unbalanced=unbalanced.time,
-        time_balanced=balanced.time,
-        migrations=balanced.n_migrations,
-        components_migrated=balanced.components_migrated,
-        final_sizes=balanced.meta["final_sizes"],
-        unbalanced=unbalanced,
-        balanced=balanced,
+        time_unbalanced=unbalanced_row["time"],
+        time_balanced=balanced_row["time"],
+        migrations=balanced_row["migrations"],
+        components_migrated=balanced_row["components_migrated"],
+        final_sizes=balanced_row["final_sizes"],
     )

@@ -238,8 +238,8 @@ def _assert_run_ok(
         "time": float(result.time),
         "max_error": max_error,
         "agreement": agreement,
-        "true_residual": verdict["true_residual"],
-        "checks_run": guard.checks_run,
+        "true_residual": float(verdict["true_residual"]),
+        "checks_run": int(guard.checks_run),
         "stalls": len(guard.stall_reports),
         "rollbacks": len(guard.divergence_events),
     }
@@ -361,6 +361,43 @@ def _failure_text(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
+def _baseline_task(scenario: SoakScenario, model: str) -> dict[str, Any]:
+    """Engine task: one fault-free guarded run; row + agreement reference.
+
+    A baseline failure raises (the soak cannot proceed without its
+    agreement reference), which aborts the sweep — the legacy behavior.
+    The solution ships as a nested list: float repr round-trips exactly,
+    so the agreement checks downstream see bit-identical references on
+    the in-process, worker-pool and cache-hit paths alike.
+    """
+    result, guard = _run_model(model, scenario, None)
+    row = _assert_run_ok(model, scenario, result, guard, None)
+    return {"row": row, "solution": result.solution().tolist()}
+
+
+def _grid_task(
+    scenario: SoakScenario,
+    schedule: FaultSchedule,
+    model: str,
+    baseline: list,
+) -> dict[str, Any]:
+    """Engine task: one guarded (schedule, model) run.
+
+    Failures are *encoded in the payload* rather than raised: the soak
+    must keep running (and later shrink) past individual failures, and
+    a payload survives the worker-pool boundary where a chained
+    exception may not pickle.
+    """
+    try:
+        result, guard = _run_model(model, scenario, schedule)
+        row = _assert_run_ok(
+            model, scenario, result, guard, np.asarray(baseline)
+        )
+    except Exception as exc:  # noqa: BLE001 - recorded + shrunk by caller
+        return {"ok": False, "error": _failure_text(exc)}
+    return {"ok": True, "row": row}
+
+
 def run_soak(
     scenario: SoakScenario | None = None,
     *,
@@ -369,29 +406,55 @@ def run_soak(
     models: tuple[str, ...] | None = None,
     out_dir: str = ".",
     shrink: bool = True,
+    engine=None,
 ) -> SoakResult:
     """Run the chaos soak; see the module docstring for the workflow.
 
     Failures never abort the soak: each one is recorded (and shrunk to
     a minimal reproducer on disk under ``out_dir`` when ``shrink``),
     and the remaining (schedule, model) pairs still run.
+
+    ``engine`` optionally supplies a :class:`~repro.exec.SweepEngine`:
+    the baseline runs and the (schedule, model) grid fan out over its
+    worker pool and/or are served from its run cache, with results
+    merged in submission order so the report and digest are
+    byte-identical to the serial path.  Shrinking always happens in
+    process (it is an adaptive sequential search).
     """
+    from dataclasses import asdict as _asdict
+
+    from repro.exec import SweepEngine, Task
+
     scenario = scenario if scenario is not None else SoakScenario()
     if seed is not None:
         scenario = replace(scenario, seed=seed)
     if models is not None:
         scenario = replace(scenario, models=tuple(models))
+    engine = engine if engine is not None else SweepEngine()
+    scenario_key = _asdict(scenario)
     tree = RngTree(scenario.seed).child("guard-soak")
     rows: list[dict[str, Any]] = []
     failures: list[dict[str, Any]] = []
 
+    baseline_tasks = [
+        Task(
+            fn=_baseline_task,
+            args=(scenario, model),
+            key={
+                "experiment": "soak-baseline",
+                "scenario": scenario_key,
+                "model": model,
+            },
+            label=f"soak/baseline/{model}",
+        )
+        for model in scenario.models
+    ]
     baselines: dict[str, np.ndarray] = {}
-    for model in scenario.models:
-        result, guard = _run_model(model, scenario, None)
-        row = _assert_run_ok(model, scenario, result, guard, None)
+    for model, payload in zip(scenario.models, engine.map(baseline_tasks)):
+        row = dict(payload["row"])
         row["schedule"] = "baseline"
         rows.append(row)
-        baselines[model] = result.solution()
+        baselines[model] = np.asarray(payload["solution"])
 
     def failing_for(model: str) -> Callable[[FaultSchedule], bool]:
         def failing(candidate: FaultSchedule) -> bool:
@@ -406,39 +469,55 @@ def run_soak(
 
         return failing
 
+    grid_tasks: list[Task] = []
+    grid_meta: list[tuple[int, str, list[str], FaultSchedule]] = []
     for index in range(n_schedules):
         schedule = random_schedule(scenario, tree, index)
         fault_types = [type(f).__name__ for f in schedule.faults]
         for model in scenario.models:
-            try:
-                result, guard = _run_model(model, scenario, schedule)
-                row = _assert_run_ok(
-                    model, scenario, result, guard, baselines[model]
+            grid_tasks.append(
+                Task(
+                    fn=_grid_task,
+                    args=(scenario, schedule, model, baselines[model].tolist()),
+                    key={
+                        "experiment": "soak",
+                        "scenario": scenario_key,
+                        "model": model,
+                        "schedule": schedule.to_dict(),
+                    },
+                    label=f"soak/s{index}/{model}",
                 )
-            except Exception as exc:  # noqa: BLE001 - recorded + shrunk
-                failure: dict[str, Any] = {
-                    "schedule": index,
-                    "model": model,
-                    "faults": fault_types,
-                    "error": _failure_text(exc),
-                    "repro_path": None,
-                }
-                if shrink:
-                    minimized = shrink_schedule(schedule, failing_for(model))
-                    failure["minimized_faults"] = [
-                        type(f).__name__ for f in minimized.faults
-                    ]
-                    path = f"{out_dir}/guard_repro_{model}_s{index}.json"
-                    _write_reproducer(
-                        path, model, scenario, schedule, minimized,
-                        failure["error"],
-                    )
-                    failure["repro_path"] = path
-                failures.append(failure)
-                continue
-            row["schedule"] = index
-            row["faults"] = fault_types
-            rows.append(row)
+            )
+            grid_meta.append((index, model, fault_types, schedule))
+
+    for (index, model, fault_types, schedule), payload in zip(
+        grid_meta, engine.map(grid_tasks)
+    ):
+        if not payload["ok"]:
+            failure: dict[str, Any] = {
+                "schedule": index,
+                "model": model,
+                "faults": fault_types,
+                "error": payload["error"],
+                "repro_path": None,
+            }
+            if shrink:
+                minimized = shrink_schedule(schedule, failing_for(model))
+                failure["minimized_faults"] = [
+                    type(f).__name__ for f in minimized.faults
+                ]
+                path = f"{out_dir}/guard_repro_{model}_s{index}.json"
+                _write_reproducer(
+                    path, model, scenario, schedule, minimized,
+                    failure["error"],
+                )
+                failure["repro_path"] = path
+            failures.append(failure)
+            continue
+        row = dict(payload["row"])
+        row["schedule"] = index
+        row["faults"] = fault_types
+        rows.append(row)
     return SoakResult(scenario, n_schedules, rows, failures)
 
 

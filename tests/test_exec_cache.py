@@ -1,0 +1,168 @@
+"""Unit tests for the content-addressed run cache (repro.exec.cache)."""
+
+import json
+import os
+
+from repro.exec import (
+    CACHE_SCHEMA,
+    RunCache,
+    SweepEngine,
+    Task,
+    code_salt,
+)
+
+
+def cube(x):
+    return {"x": x, "cube": x ** 3}
+
+
+def keyed_tasks(n=2):
+    return [
+        Task(fn=cube, args=(i,), key={"test": "cube", "i": i}) for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Basic hit / miss / layout
+# ----------------------------------------------------------------------
+def test_miss_then_put_then_hit(tmp_path):
+    cache = RunCache(str(tmp_path))
+    digest = cache.digest_for({"a": 1})
+    assert cache.get(digest) == (False, None)
+    cache.put(digest, {"a": 1}, {"result": 42})
+    assert cache.get(digest) == (True, {"result": 42})
+
+
+def test_path_layout_is_sharded_by_digest_prefix(tmp_path):
+    cache = RunCache(str(tmp_path))
+    digest = cache.digest_for("k")
+    path = cache.path_for(digest)
+    assert path == os.path.join(str(tmp_path), digest[:2], f"{digest}.json")
+    cache.put(digest, "k", 1)
+    assert os.path.exists(path)
+
+
+def test_envelope_is_self_describing(tmp_path):
+    cache = RunCache(str(tmp_path))
+    digest = cache.digest_for({"scenario": "tiny"})
+    cache.put(digest, {"scenario": "tiny"}, {"t": 1.0})
+    with open(cache.path_for(digest)) as fh:
+        envelope = json.load(fh)
+    assert envelope["schema"] == CACHE_SCHEMA
+    assert envelope["digest"] == digest
+    assert envelope["key"] == {"scenario": "tiny"}
+    assert envelope["payload"] == {"t": 1.0}
+
+
+# ----------------------------------------------------------------------
+# Invalidation
+# ----------------------------------------------------------------------
+def test_key_change_changes_digest(tmp_path):
+    cache = RunCache(str(tmp_path))
+    base = {"scenario": {"n": 16, "seed": 0}, "p": 4}
+    changed = {"scenario": {"n": 16, "seed": 1}, "p": 4}
+    assert cache.digest_for(base) != cache.digest_for(changed)
+
+
+def test_salt_change_invalidates_everything(tmp_path):
+    old = RunCache(str(tmp_path), salt="v1")
+    digest = old.digest_for({"a": 1})
+    old.put(digest, {"a": 1}, "payload")
+    new = RunCache(str(tmp_path), salt="v2")
+    assert new.digest_for({"a": 1}) != digest
+    assert new.get(new.digest_for({"a": 1})) == (False, None)
+
+
+def test_default_salt_embeds_schema_and_epoch():
+    salt = code_salt()
+    assert CACHE_SCHEMA in salt
+    assert "epoch" in salt
+
+
+def test_engine_recomputes_on_config_change(tmp_path):
+    cache_dir = str(tmp_path / "c")
+    first = SweepEngine(cache=RunCache(cache_dir))
+    first.map([Task(fn=cube, args=(2,), key={"i": 2})])
+    assert first.stats.misses == 1
+    # Same function, different key material: must miss, not hit.
+    second = SweepEngine(cache=RunCache(cache_dir))
+    second.map([Task(fn=cube, args=(2,), key={"i": 2, "extra": True})])
+    assert second.stats.misses == 1 and second.stats.hits == 0
+
+
+# ----------------------------------------------------------------------
+# Corruption tolerance: every broken entry is a miss, then overwritten
+# ----------------------------------------------------------------------
+def _poison(cache, digest, content, mode="w"):
+    path = cache.path_for(digest)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, mode) as fh:
+        fh.write(content)
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    cache = RunCache(str(tmp_path))
+    digest = cache.digest_for("k")
+    cache.put(digest, "k", {"big": list(range(100))})
+    path = cache.path_for(digest)
+    with open(path) as fh:
+        text = fh.read()
+    with open(path, "w") as fh:
+        fh.write(text[: len(text) // 2])
+    assert cache.get(digest) == (False, None)
+
+
+def test_garbage_entry_is_a_miss(tmp_path):
+    cache = RunCache(str(tmp_path))
+    digest = cache.digest_for("k")
+    _poison(cache, digest, "not json at all \x00\x01")
+    assert cache.get(digest) == (False, None)
+
+
+def test_wrong_schema_is_a_miss(tmp_path):
+    cache = RunCache(str(tmp_path))
+    digest = cache.digest_for("k")
+    _poison(
+        cache,
+        digest,
+        json.dumps({"schema": "other/9", "digest": digest, "payload": 1}),
+    )
+    assert cache.get(digest) == (False, None)
+
+
+def test_foreign_digest_is_a_miss(tmp_path):
+    cache = RunCache(str(tmp_path))
+    digest = cache.digest_for("k")
+    _poison(
+        cache,
+        digest,
+        json.dumps({"schema": CACHE_SCHEMA, "digest": "0" * 64, "payload": 1}),
+    )
+    assert cache.get(digest) == (False, None)
+
+
+def test_non_dict_envelope_is_a_miss(tmp_path):
+    cache = RunCache(str(tmp_path))
+    digest = cache.digest_for("k")
+    _poison(cache, digest, json.dumps([1, 2, 3]))
+    assert cache.get(digest) == (False, None)
+
+
+def test_engine_recomputes_and_repairs_corrupt_entry(tmp_path):
+    cache_dir = str(tmp_path / "c")
+    cold = SweepEngine(cache=RunCache(cache_dir))
+    expected = cold.map(keyed_tasks())
+
+    # Corrupt one entry; the rerun must recompute it (1 miss, 1 hit),
+    # return identical results, and leave the entry repaired.
+    cache = RunCache(cache_dir)
+    bad = cache.digest_for({"test": "cube", "i": 0})
+    _poison(cache, bad, "garbage{")
+    repair = SweepEngine(cache=RunCache(cache_dir))
+    assert repair.map(keyed_tasks()) == expected
+    assert repair.stats.misses == 1 and repair.stats.hits == 1
+    assert cache.get(bad) == (True, {"cube": 0, "x": 0})
+
+    warm = SweepEngine(cache=RunCache(cache_dir))
+    assert warm.map(keyed_tasks()) == expected
+    assert warm.stats.hits == 2 and warm.stats.misses == 0

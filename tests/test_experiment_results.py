@@ -30,6 +30,49 @@ def test_figure5_report_contains_table_and_plot():
     assert "legend:" in report
 
 
+def test_figure5_report_with_empty_migrations_keeps_all_rows():
+    # Regression: an empty migrations column used to truncate the
+    # five-way zip in report() to zero data rows, silently emitting an
+    # empty table.  It must instead pad with zeros and keep every row.
+    r = Figure5Result(
+        proc_counts=[4, 8, 16],
+        time_unbalanced=[1000.0, 500.0, 300.0],
+        time_balanced=[400.0, 200.0, 100.0],
+        migrations=[],
+    )
+    report = r.report()
+    for p in (4, 8, 16):
+        assert any(line.strip().startswith(str(p)) for line in report.splitlines())
+    assert "1,000.0" in report and "2.50" in report
+
+
+def test_figure5_report_rejects_inconsistent_columns():
+    r = Figure5Result(
+        proc_counts=[4, 8],
+        time_unbalanced=[1000.0],
+        time_balanced=[400.0, 200.0],
+    )
+    with pytest.raises(ValueError, match="columns disagree"):
+        r.report()
+    with pytest.raises(ValueError, match="migration"):
+        Figure5Result(
+            proc_counts=[4, 8],
+            time_unbalanced=[1000.0, 500.0],
+            time_balanced=[400.0, 200.0],
+            migrations=[1],
+        ).report()
+
+
+def test_figure5_digest_and_to_dict_roundtrip():
+    r = make_figure5()
+    data = r.to_dict()
+    assert data["digest"] == r.digest()
+    assert data["proc_counts"] == [4, 8, 16]
+    # The digest covers only the result columns, not derived fields.
+    r2 = make_figure5()
+    assert r2.digest() == r.digest()
+
+
 def test_ablation_result_best_and_report():
     r = AblationResult(
         name="demo sweep",

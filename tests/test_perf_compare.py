@@ -1,0 +1,105 @@
+"""Tests for report-to-report comparison and the bench-compare verb."""
+
+import json
+
+import pytest
+
+from repro.analysis.perf import compare
+
+
+def report_dict(**best_by_name):
+    return {
+        "title": "t",
+        "results": [
+            {"name": name, "best_s": best, "median_s": best, "mean_s": best,
+             "repeats": 3}
+            for name, best in best_by_name.items()
+        ],
+    }
+
+
+def test_compare_flags_only_above_threshold():
+    old = report_dict(a=1.0, b=1.0, c=1.0)
+    new = report_dict(a=1.05, b=1.11, c=0.5)
+    result = compare(old, new, threshold=0.10)
+    by_name = {row["name"]: row for row in result.rows}
+    assert not by_name["a"]["regressed"]  # +5% is inside the threshold
+    assert by_name["b"]["regressed"]  # +11% is out
+    assert not by_name["c"]["regressed"]  # a speedup never regresses
+    assert [r["name"] for r in result.regressions] == ["b"]
+    assert not result.ok
+
+
+def test_compare_ok_when_everything_within_threshold():
+    old = report_dict(a=1.0)
+    new = report_dict(a=1.02)
+    result = compare(old, new, threshold=0.10)
+    assert result.ok
+    assert "0 regression(s)" in result.report()
+
+
+def test_compare_unmatched_names_never_fail_the_gate():
+    old = report_dict(kept=1.0, retired=1.0)
+    new = report_dict(kept=1.0, added=9.9)
+    result = compare(old, new)
+    assert result.ok
+    assert result.only_old == ["retired"]
+    assert result.only_new == ["added"]
+    assert "retired" in result.report() and "added" in result.report()
+
+
+def test_compare_zero_old_best_counts_as_regression():
+    result = compare(report_dict(a=0.0), report_dict(a=0.1))
+    assert result.rows[0]["ratio"] == float("inf")
+    assert not result.ok
+
+
+def test_compare_rejects_negative_threshold():
+    with pytest.raises(ValueError, match="threshold"):
+        compare(report_dict(), report_dict(), threshold=-0.1)
+
+
+def test_compare_loads_from_paths(tmp_path):
+    old_path = tmp_path / "old.json"
+    new_path = tmp_path / "new.json"
+    old_path.write_text(json.dumps(report_dict(a=1.0)))
+    new_path.write_text(json.dumps(report_dict(a=2.0)))
+    result = compare(str(old_path), str(new_path))
+    assert result.rows[0]["ratio"] == pytest.approx(2.0)
+    assert not result.ok
+
+
+# ----------------------------------------------------------------------
+# The CLI verb: exit status is the CI contract
+# ----------------------------------------------------------------------
+def _write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_bench_compare_cli_passes_within_threshold(tmp_path, capsys):
+    from repro.cli import main
+
+    old = _write(tmp_path, "old.json", report_dict(a=1.0))
+    new = _write(tmp_path, "new.json", report_dict(a=1.05))
+    assert main(["bench-compare", old, new]) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+
+
+def test_bench_compare_cli_fails_on_regression(tmp_path, capsys):
+    from repro.cli import main
+
+    old = _write(tmp_path, "old.json", report_dict(a=1.0))
+    new = _write(tmp_path, "new.json", report_dict(a=1.5))
+    with pytest.raises(SystemExit, match="regressed"):
+        main(["bench-compare", old, new])
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_bench_compare_cli_threshold_flag(tmp_path):
+    from repro.cli import main
+
+    old = _write(tmp_path, "old.json", report_dict(a=1.0))
+    new = _write(tmp_path, "new.json", report_dict(a=1.4))
+    assert main(["bench-compare", old, new, "--threshold", "0.5"]) == 0
