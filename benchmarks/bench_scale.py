@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Large-N scaling benchmark (``BENCH_scale.json``).
+
+A ranks × components grid of SISC runs, each executed by three engines:
+
+* ``legacy``   — the reference event-driven solver on the pre-PR flat
+  binary heap (:class:`repro.des.LegacyEventQueue`): the baseline the
+  acceptance criteria measure against;
+* ``indexed``  — the same solver on the bucket-indexed
+  :class:`repro.des.EventQueue` (O(1) same-time batch dispatch);
+* ``lockstep`` — :func:`repro.models.run_sisc_batched`, the rank-batched
+  round replay that dispatches no per-rank events at all.
+
+Every engine must produce the *same answer*: each grid point asserts
+that :func:`repro.analysis.perf.run_fingerprint` of all three results is
+identical, so the benchmark doubles as a large-N determinism check.
+
+The throughput column is **events/sec**: dispatched events (for the
+lockstep replay, the events the reference semantics *would* dispatch —
+it replays them in closed form) divided by wall-clock.  Runs are capped
+at a fixed round count (``max_iterations``) so the virtual work per grid
+point is identical across engines and the wall-clock budget stays
+bounded at 1024 ranks; ``meta`` records the honest core count and the
+process peak RSS after each run (a high-water mark — points run
+smallest to largest so the column is attributable).
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_scale.py --check    # CI gate
+
+``--check`` exits non-zero unless the lockstep engine clears >= 10x the
+legacy events/sec at the *scheduler-bound* largest-rank grid point (the
+1024-rank strong-scaling point with the smallest per-rank blocks — the
+regime this PR optimises).  At the 10⁶-component flagship point the
+numpy sweep itself, identical work in every engine, dominates the round
+and compresses the scheduler speedup; that row is reported but not
+gated, because a gate on it would measure the problem kernel, not the
+scheduler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from dataclasses import replace
+from typing import Any
+
+from repro.analysis.perf import BenchReport, BenchResult, run_fingerprint
+from repro.core.records import RunResult
+from repro.core.solver import build_chain
+from repro.des import Barrier, LegacyEventQueue
+from repro.models import run_sisc_batched
+from repro.models.sisc import _sisc_process
+from repro.runtime.memory import peak_rss_bytes
+from repro.workloads import ScaleScenario
+
+#: (n_ranks, components_per_rank, rounds) — smallest first, so the
+#: peak-RSS column (a process high-water mark) is attributable to the
+#: point it is recorded after.  The last point is the flagship: 1024
+#: ranks, 2**20 components.
+FULL_GRID: tuple[tuple[int, int, int], ...] = (
+    (64, 1600, 50),
+    (256, 400, 50),
+    (1024, 100, 50),
+    (1024, 1024, 50),
+)
+
+#: CI smoke grid: seconds, not minutes, but still wide enough that the
+#: lockstep replay's advantage is unambiguous.
+QUICK_GRID: tuple[tuple[int, int, int], ...] = (
+    (64, 100, 30),
+    (256, 100, 30),
+)
+
+
+def scenario_for(n_ranks: int, components_per_rank: int) -> ScaleScenario:
+    return ScaleScenario(
+        n_ranks=n_ranks, components_per_rank=components_per_rank
+    )
+
+
+def _config(scenario: ScaleScenario, rounds: int):
+    # Cap the round count: identical virtual work for every engine and a
+    # bounded wall-clock at 1024 ranks.  The runs abort at the cap by
+    # design; abort is a deterministic, bit-replayable path.
+    return replace(scenario.solver_config(), max_iterations=rounds)
+
+
+def run_reference(
+    scenario: ScaleScenario, rounds: int, *, legacy_queue: bool
+) -> tuple[RunResult, int]:
+    """One event-driven SISC run; returns (result, events dispatched)."""
+    run = build_chain(
+        scenario.problem(),
+        scenario.platform(),
+        _config(scenario, rounds),
+        model="sisc",
+    )
+    if legacy_queue:
+        # Swap before anything is scheduled; build_chain schedules
+        # nothing, which the peek assertion pins down.
+        assert run.sim._queue.peek_time() is None
+        run.sim._queue = LegacyEventQueue()
+    barrier = Barrier(run.n_ranks, name="sisc")
+    for ctx in run.ranks:
+        run.sim.spawn(f"sisc-rank-{ctx.rank}", _sisc_process(run, ctx, barrier))
+    run.run()
+    return run.result(), run.sim.n_dispatched
+
+
+def run_lockstep(scenario: ScaleScenario, rounds: int) -> tuple[RunResult, int]:
+    result = run_sisc_batched(
+        scenario.problem(), scenario.platform(), _config(scenario, rounds)
+    )
+    return result, int(result.meta["events_dispatched"])
+
+
+def bench_point(
+    report: BenchReport,
+    n_ranks: int,
+    components_per_rank: int,
+    rounds: int,
+) -> dict[str, Any]:
+    """All three engines at one grid point; asserts identical answers."""
+    scenario = scenario_for(n_ranks, components_per_rank)
+    cores = len(os.sched_getaffinity(0))
+    point = f"r{n_ranks}_c{scenario.n_components}"
+    base_meta = {
+        "cores": cores,
+        "n_ranks": n_ranks,
+        "n_components": scenario.n_components,
+        "rounds": rounds,
+    }
+
+    engines = {
+        "legacy": lambda: run_reference(scenario, rounds, legacy_queue=True),
+        "indexed": lambda: run_reference(scenario, rounds, legacy_queue=False),
+        "lockstep": lambda: run_lockstep(scenario, rounds),
+    }
+    stats: dict[str, dict[str, Any]] = {}
+    fingerprints: dict[str, str] = {}
+    for engine, fn in engines.items():
+        t0 = time.perf_counter()
+        result, events = fn()
+        wall = time.perf_counter() - t0
+        fingerprints[engine] = run_fingerprint(result)
+        stats[engine] = {
+            "wall_s": wall,
+            "events": events,
+            "events_per_sec": events / wall if wall > 0 else float("inf"),
+            "peak_rss_bytes": peak_rss_bytes(),
+        }
+        report.add(
+            BenchResult(
+                name=f"scale_{point}_{engine}",
+                best=wall,
+                median=wall,
+                mean=wall,
+                repeats=1,
+                meta={
+                    **base_meta,
+                    "events": events,
+                    "events_per_sec": stats[engine]["events_per_sec"],
+                    "peak_rss_bytes": stats[engine]["peak_rss_bytes"],
+                },
+            )
+        )
+
+    if len(set(fingerprints.values())) != 1:
+        raise AssertionError(
+            f"{point}: engines disagree — fingerprints {fingerprints}"
+        )
+    speedup = (
+        stats["lockstep"]["events_per_sec"] / stats["legacy"]["events_per_sec"]
+    )
+    print(
+        f"{point}: legacy {stats['legacy']['events_per_sec']:,.0f} ev/s, "
+        f"indexed {stats['indexed']['events_per_sec']:,.0f} ev/s, "
+        f"lockstep {stats['lockstep']['events_per_sec']:,.0f} ev/s "
+        f"({speedup:.1f}x vs legacy), "
+        f"rss {stats['lockstep']['peak_rss_bytes'] / 1e6:,.0f} MB"
+    )
+    return {
+        "point": point,
+        "n_ranks": n_ranks,
+        "n_components": scenario.n_components,
+        "speedup_vs_legacy": speedup,
+        **{f"{e}_events_per_sec": s["events_per_sec"] for e, s in stats.items()},
+    }
+
+
+def build_report(quick: bool) -> tuple[BenchReport, list[dict[str, Any]]]:
+    report = BenchReport("repro large-N scaling benchmarks")
+    grid = QUICK_GRID if quick else FULL_GRID
+    summaries = [bench_point(report, r, c, rounds) for r, c, rounds in grid]
+    return report, summaries
+
+
+def check(summaries: list[dict[str, Any]]) -> list[str]:
+    """CI gate: >= 10x events/sec over legacy at the scheduler-bound point.
+
+    Gated point: the largest-rank entry with the fewest components (the
+    strong-scaling point, where per-event scheduler overhead — not the
+    shared numpy sweep — is the bottleneck).
+    """
+    top_ranks = max(s["n_ranks"] for s in summaries)
+    gated = min(
+        (s for s in summaries if s["n_ranks"] == top_ranks),
+        key=lambda s: s["n_components"],
+    )
+    if gated["speedup_vs_legacy"] < 10.0:
+        return [
+            f"{gated['point']}: lockstep only "
+            f"{gated['speedup_vs_legacy']:.1f}x the legacy scheduler's "
+            f"events/sec (expected >= 10x)"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke grid")
+    parser.add_argument(
+        "-o", "--out", default=None,
+        help="JSON output path (default: BENCH_scale.json, repo root)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless lockstep >= 10x legacy at the top point",
+    )
+    args = parser.parse_args(argv)
+
+    report, summaries = build_report(args.quick)
+    print(report.format_table())
+
+    out = args.out
+    if out is None:
+        from pathlib import Path
+
+        out = str(Path(__file__).resolve().parent.parent / "BENCH_scale.json")
+    report.save(out)
+    print(f"[report saved to {out}]")
+
+    if args.check:
+        problems = check(summaries)
+        if problems:
+            for p in problems:
+                print(f"CHECK FAILED: {p}", file=sys.stderr)
+            return 1
+        print("[--check passed: >= 10x events/sec at the top grid point]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

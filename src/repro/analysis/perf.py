@@ -35,6 +35,7 @@ __all__ = [
     "PerfComparison",
     "compare",
     "stable_digest",
+    "run_fingerprint",
     "save_report",
 ]
 
@@ -58,6 +59,46 @@ def stable_digest(data: Any) -> str:
     guarantee by construction.
     """
     return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+def run_fingerprint(result: Any) -> str:
+    """Engine-independent digest of a solver :class:`RunResult`.
+
+    Covers every virtual-time observable a caller can act on —
+    convergence, timings, per-rank iteration/work vectors, partition,
+    residuals, the full solution (bit-exact via float ``repr``) and the
+    tracer aggregates — while *excluding* execution-engine telemetry
+    (``meta["engine"]``, ``meta["events_dispatched"]``): the reference
+    event-driven run and the lockstep replay of the same scenario must
+    fingerprint identically, and wall-clock-ish counters must never
+    break that.  Duck-typed so analysis code can fingerprint any object
+    with the ``RunResult`` surface.
+    """
+    tracer = result.tracer
+    meta = {
+        k: v
+        for k, v in result.meta.items()
+        if k not in ("engine", "events_dispatched")
+        and isinstance(v, (str, int, float, bool, list, type(None)))
+    }
+    return stable_digest(
+        {
+            "model": result.model,
+            "converged": result.converged,
+            "time": result.time,
+            "iterations": list(result.iterations),
+            "work": list(result.work),
+            "solution": [block.tolist() for block in result.solution_blocks],
+            "final_partition": [list(b) for b in result.final_partition],
+            "residuals_at_stop": list(result.residuals_at_stop),
+            "n_migrations": result.n_migrations,
+            "components_migrated": result.components_migrated,
+            "busy": [tracer.busy_time_of(r) for r in range(result.n_ranks)],
+            "idle": [tracer.idle_time_of(r) for r in range(result.n_ranks)],
+            "n_messages": tracer.n_messages(),
+            "meta": meta,
+        }
+    )
 
 
 def save_report(path: str, data: dict[str, Any]) -> None:

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro figure5 [--full] [--jobs N] [--no-cache] [--json OUT]
+    python -m repro figure5 [--full|--scale] [--jobs N] [--no-cache] [--json OUT]
     python -m repro table1 [--full] [--jobs N] [--no-cache]
     python -m repro figures-1-4
     python -m repro models
@@ -49,7 +49,12 @@ def _figure5(args: argparse.Namespace) -> str:
     from repro.experiments import run_figure5
     from repro.workloads import Figure5Scenario
 
-    scenario = Figure5Scenario() if args.full else Figure5Scenario.quick()
+    if args.scale:
+        scenario = Figure5Scenario.scale()
+    elif args.full:
+        scenario = Figure5Scenario()
+    else:
+        scenario = Figure5Scenario.quick()
     engine = _engine_for(args)
     result = run_figure5(scenario, engine=engine)
     report = result.report()
@@ -364,6 +369,12 @@ def build_parser() -> argparse.ArgumentParser:
                 "--json",
                 default="",
                 help="write rows + digest + engine stats to this JSON file",
+            )
+            cmd.add_argument(
+                "--scale",
+                action="store_true",
+                help="large-N preset: the same curves out to 1024 ranks "
+                "(overrides --full; expect minutes)",
             )
 
     resilience_cmd = sub.add_parser(

@@ -69,6 +69,12 @@ class SupervisorMonitor:
         self._on_converged = on_converged
         self._hold_while = hold_while
         self._streak = [0] * n_ranks
+        # O(1) convergence test: count ranks whose streak is at/above
+        # the persistence threshold instead of scanning every streak on
+        # every report (the scan made detection O(ranks^2) per round at
+        # large scale).  Transitions are tracked at threshold crossings,
+        # so the count always equals the scan's result.
+        self._n_satisfied = sum(1 for s in self._streak if s >= persistence)
         self.converged = False
         self.convergence_time: float | None = None
 
@@ -77,10 +83,16 @@ class SupervisorMonitor:
         if self.converged:
             return
         if residual < self.tolerance:
-            self._streak[rank] += 1
+            s = self._streak[rank] + 1
+            self._streak[rank] = s
+            if s == self.persistence:
+                self._n_satisfied += 1
         else:
+            s = self._streak[rank]
             self._streak[rank] = 0
-        if all(s >= self.persistence for s in self._streak):
+            if s >= self.persistence > 0:
+                self._n_satisfied -= 1
+        if self._n_satisfied == self.n_ranks:
             if self._hold_while is not None and self._hold_while():
                 return  # e.g. a migration is in flight: check again later
             self.converged = True
@@ -90,7 +102,10 @@ class SupervisorMonitor:
     def reset_rank(self, rank: int) -> None:
         """A migration touched ``rank``: its residual is about to change."""
         if not self.converged:
+            s = self._streak[rank]
             self._streak[rank] = 0
+            if s >= self.persistence > 0:
+                self._n_satisfied -= 1
 
 
 class TokenRingDetector:

@@ -248,7 +248,7 @@ class ChainRun:
         """
         ctx.checkpoint = {
             "iteration": ctx.iteration,
-            "state": copy.deepcopy(ctx.state),
+            "state": self.problem.copy_state(ctx.state),
             "lo": ctx.lo,
             "hi": ctx.hi,
             "halo_left": copy.deepcopy(ctx.halo_left),
@@ -277,7 +277,7 @@ class ChainRun:
             )
         ctx.restored_epoch = ctx.node.crash_count
         ctx.iteration = snap["iteration"]
-        ctx.state = copy.deepcopy(snap["state"])
+        ctx.state = self.problem.copy_state(snap["state"])
         ctx.halo_left = copy.deepcopy(snap["halo_left"])
         ctx.halo_right = copy.deepcopy(snap["halo_right"])
         ctx.halo_iter_left = snap["halo_iter_left"]
@@ -589,6 +589,7 @@ class ChainRun:
         counters.  Purely a read — calling it never perturbs the run.
         """
         self.tracer.export_metrics(registry, **labels)
+        self.sim.export_metrics(registry, **labels)
         for ctx in self.ranks:
             ctx.node.export_metrics(registry, **labels)
         self.platform.network.export_metrics(registry, **labels)

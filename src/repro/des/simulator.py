@@ -46,8 +46,12 @@ class Simulator:
     ``t == 1.5``, before ``a``'s at ``t == 2.0``.
     """
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    def __init__(self, *, queue: Any = None) -> None:
+        #: ``queue`` swaps the event-queue implementation (the benchmark
+        #: harness passes :class:`~repro.des.event.LegacyEventQueue` to
+        #: measure the pre-optimisation baseline); the default is the
+        #: bucket-indexed :class:`~repro.des.event.EventQueue`.
+        self._queue = queue if queue is not None else EventQueue()
         self._now = 0.0
         self._running = False
         self._stop_requested = False
@@ -55,6 +59,10 @@ class Simulator:
         self.processes: list[Process] = []
         #: Optional dispatch observer (see :meth:`attach_profiler`).
         self.profiler: Any = None
+        #: Dispatch telemetry: total events whose callback was invoked,
+        #: and the number of same-timestamp batches they arrived in.
+        self.n_dispatched = 0
+        self.n_batches = 0
 
     def attach_profiler(self, profiler: Any) -> "Simulator":
         """Attach a profiler whose ``record(event)`` sees every dispatch.
@@ -196,8 +204,10 @@ class Simulator:
                 # loop is duplicated so the profiler-off path carries no
                 # per-event branch at all.
                 event = pop_at(next_time)
+                batch_n = 0
                 if profiler is None:
                     while event is not None:
+                        batch_n += 1
                         try:
                             event.callback(*event.args)
                         except BaseException as exc:  # noqa: BLE001 - rewrapped below
@@ -209,6 +219,7 @@ class Simulator:
                         event = pop_at(next_time)
                 else:
                     while event is not None:
+                        batch_n += 1
                         profiler.record(event)
                         try:
                             event.callback(*event.args)
@@ -219,6 +230,8 @@ class Simulator:
                         if self._stop_requested:
                             break
                         event = pop_at(next_time)
+                self.n_dispatched += batch_n
+                self.n_batches += 1
         finally:
             self._running = False
         if self._failure is not None:
@@ -226,6 +239,17 @@ class Simulator:
             self._failure = None
             where = f"process {process.name!r}" if process else "scheduled callback"
             raise SimulationError(f"{where} failed at t={self._now}: {exc!r}") from exc
+
+    def export_metrics(self, registry: Any, **labels: Any) -> None:
+        """Publish scheduler telemetry into a metrics registry.
+
+        ``des.heap_size`` is the high-water mark of pending events,
+        ``des.batch_dispatch`` the number of same-timestamp batches and
+        ``des.events_dispatched`` the total events dispatched.
+        """
+        registry.gauge("des.heap_size", **labels).set(self._queue.peak_size)
+        registry.counter("des.batch_dispatch", **labels).add(self.n_batches)
+        registry.counter("des.events_dispatched", **labels).add(self.n_dispatched)
 
     def run_until_signal(self, signal: Signal, horizon: float | None = None) -> bool:
         """Run until ``signal`` is next triggered.

@@ -22,9 +22,12 @@ Invalidation
 ------------
 The digest covers ``{"key": key, "salt": salt}``.  The default salt
 (:func:`code_salt`) combines the envelope schema version, the package
-version and :data:`CACHE_EPOCH`; **bump** :data:`CACHE_EPOCH` whenever a
-change alters what any cached run would compute (solver numerics, fault
-semantics, payload fields) without changing the scenario dataclasses.
+version, :data:`CACHE_EPOCH` and :data:`STATE_LAYOUT_REV`; **bump**
+:data:`CACHE_EPOCH` whenever a change alters what any cached run would
+compute (solver numerics, fault semantics, payload fields) without
+changing the scenario dataclasses, and :data:`STATE_LAYOUT_REV` when
+the in-memory state layout changes (rank-batched arrays, checkpoint
+snapshot format) in a way that could shift float associativity.
 Any config change invalidates automatically because the key embeds the
 full scenario ``asdict``.
 
@@ -46,13 +49,28 @@ from typing import Any
 
 from repro.analysis.perf import stable_digest
 
-__all__ = ["CACHE_EPOCH", "CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "RunCache", "code_salt"]
+__all__ = [
+    "CACHE_EPOCH",
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "STATE_LAYOUT_REV",
+    "RunCache",
+    "code_salt",
+]
 
 CACHE_SCHEMA = "repro-exec-cache/1"
 
 #: Bump when a code change alters cached results without changing any
 #: scenario/config field (e.g. a solver numerics fix).
 CACHE_EPOCH = 1
+
+#: Revision of the in-memory solver state layout (rank-batched arrays,
+#: block tiling, checkpoint snapshot format).  Cached payloads are pure
+#: virtual-time results, but a layout change is exactly the kind of
+#: refactor that can shift float associativity without touching any
+#: scenario field — bump this to invalidate instead of CACHE_EPOCH so
+#: the two invalidation axes stay independently auditable.
+STATE_LAYOUT_REV = 1
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -64,7 +82,10 @@ def code_salt() -> str:
     """The default code-version salt mixed into every cache digest."""
     from repro import __version__
 
-    return f"{CACHE_SCHEMA}:{__version__}:epoch{CACHE_EPOCH}"
+    return (
+        f"{CACHE_SCHEMA}:{__version__}:epoch{CACHE_EPOCH}"
+        f":layout{STATE_LAYOUT_REV}"
+    )
 
 
 class RunCache:

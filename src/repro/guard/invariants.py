@@ -142,6 +142,10 @@ class InvariantMonitor:
         self.halt_verdict: dict[str, Any] | None = None
         self._divergence = DivergenceGuard(self.config)
         self._prev_transport: dict[int, dict[str, dict]] = {}
+        #: Installed by the lockstep replay engine (which never calls
+        #: :meth:`attach`): a callable performing the native halt
+        #: verification against the batched state.
+        self._lockstep_verify: Any = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -355,6 +359,10 @@ class InvariantMonitor:
         converged, a detector protocol bug) overshoot the widened bound
         by orders of magnitude, so the oracle still fails loudly.
         """
+        if self.run is None and self._lockstep_verify is not None:
+            # Guarded lockstep replay: the engine verifies its own
+            # batched final state (same invariants, same bound).
+            return self._lockstep_verify()
         run = self.run
         assert run is not None
         self.check_invariants()

@@ -17,10 +17,16 @@ Three ways to run the same block-relaxation over the same platform:
 
 All three share the chain machinery of :mod:`repro.core.solver`, so
 timing differences come only from the synchronisation semantics.
+
+:func:`~repro.models.lockstep.run_sisc_batched` is a rank-batched
+replay of the SISC model — bit-identical results, orders of magnitude
+fewer dispatched events — used by the scale benchmarks and the
+``--scale`` experiment presets.
 """
 
 from repro.models.sisc import run_sisc
 from repro.models.siac import run_siac
 from repro.models.aiac import run_aiac_model
+from repro.models.lockstep import run_sisc_batched
 
-__all__ = ["run_sisc", "run_siac", "run_aiac_model"]
+__all__ = ["run_sisc", "run_siac", "run_aiac_model", "run_sisc_batched"]

@@ -1,0 +1,1071 @@
+"""Rank-batched lockstep replay of the SISC execution model.
+
+:func:`run_sisc_batched` produces results *bit-identical* to
+:func:`repro.models.sisc.run_sisc` on the fault-free oracle-detection
+path, but replaces the per-rank DES processes with one vectorised
+"round" per global iteration: SISC is globally synchronous, so every
+rank starts iteration ``k`` at the same barrier-open time ``T_k`` and
+the whole round — sweep timings, halo arrivals, barrier release, idle
+spans, convergence votes — is a closed-form function of the per-rank
+sweep durations.  One ``numpy`` pass per round replaces thousands of
+event dispatches, which is what lets the simulator reach 10k ranks
+(see ``benchmarks/bench_scale.py``).
+
+Equivalence is enforced, not assumed:
+
+* the problem must supply a :meth:`~repro.problems.base.Problem.
+  batched_chain_sweeper` whose per-block numerics are bit-identical to
+  per-rank ``iterate`` calls (the synthetic problem's global Jacobi
+  update is proven so; differential tests pin fingerprints);
+* event ordering — including ``(time, seq)`` ties — is replayed through
+  collapsed dispatch keys that are order-isomorphic to the reference
+  scheduler's sequence numbers, so record lists, trigger ranks and the
+  dispatched-event count match the reference exactly;
+* anything the replay cannot express (token-ring detection, fault
+  injection via ``run_sisc``'s ``injector``, problems without a batched
+  sweeper, empty blocks) falls back to the reference implementation.
+
+The engine is memory-lean by construction: no per-rank GridNode /
+Process / generator objects — per-rank state is a handful of numpy
+arrays plus the sweeper's single global state vector.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.partition import PartitionRegistry
+from repro.core.records import RunResult
+from repro.grid.platform import Platform
+from repro.grid.traces import ConstantTrace
+from repro.problems.base import Problem
+from repro.runtime.tracer import (
+    IdleSpan,
+    IterationSpan,
+    MessageRecord,
+    ResidualRecord,
+    Tracer,
+)
+
+__all__ = ["run_sisc_batched"]
+
+#: FIFO spacing used by :meth:`repro.grid.network.Network.arrival_time`.
+_FIFO_EPSILON = 1e-9
+
+#: Root ancestor for collapsed dispatch keys: compares below every real
+#: event key (virtual times are >= 0), standing in for "pushed before
+#: anything else this round".
+_D_ROOT = (-1.0, ())
+
+
+def _repeat_add(acc: float, x: float, count: int) -> float:
+    """``count`` sequential ``acc += x`` steps, matching IEEE order.
+
+    When ``x`` and ``acc`` are integer-valued and the result stays below
+    2**53 every intermediate sum is exact, so multiplication gives the
+    same float; otherwise fall back to the literal loop (repeated
+    addition and multiplication differ in general).
+    """
+    if count <= 0:
+        return acc
+    total = acc + x * count
+    if float(x).is_integer() and float(acc).is_integer() and abs(total) <= 2**53:
+        return total
+    for _ in range(count):
+        acc += x
+    return acc
+
+
+def _constant_rate(host: Any) -> float | None:
+    """Effective work rate if the host's availability is constant."""
+    if isinstance(host.trace, ConstantTrace):
+        return host.speed * host.trace.value(0.0)
+    return None
+
+
+def _constant_transfer(link: Any, nbytes: float) -> float | None:
+    """Per-message transfer time if the link's traces are constant."""
+    if isinstance(link.latency_trace, ConstantTrace) and isinstance(
+        link.bandwidth_trace, ConstantTrace
+    ):
+        return link.transfer_time(nbytes, 0.0)
+    return None
+
+
+def run_sisc_batched(
+    problem: Problem,
+    platform: Platform,
+    config: SolverConfig | None = None,
+    *,
+    host_order: list[int] | None = None,
+    guard: Any = None,
+) -> RunResult:
+    """SISC via lockstep round replay; bit-identical to ``run_sisc``.
+
+    Falls back to the reference event-driven implementation whenever
+    the replay's preconditions do not hold (non-oracle detection, no
+    batched sweeper, empty blocks) or the guard's divergence watchdog
+    would have rolled a rank back (the replay has no rollback).
+    ``guard`` accepts a :class:`repro.guard.InvariantMonitor`; its
+    conservation checks and halt verification run natively against the
+    batched state at the reference cadence.
+    """
+    config = config if config is not None else SolverConfig()
+    n_ranks = len(platform.hosts)
+    if host_order is None:
+        host_order = list(range(n_ranks))
+    if sorted(host_order) != list(range(n_ranks)):
+        raise ValueError(
+            f"host_order must be a permutation of 0..{n_ranks - 1}, "
+            f"got {host_order!r}"
+        )
+    partition = PartitionRegistry(problem.n_components, n_ranks)
+    blocks = [partition.block(rank) for rank in range(n_ranks)]
+    sweeper = None
+    replayable = (
+        config.detection == "oracle"
+        and all(hi > lo for lo, hi in blocks)
+        # The stall watchdog schedules its own periodic DES events;
+        # the replay cannot express them.
+        and (guard is None or guard.config.stall_horizon is None)
+    )
+    if replayable:
+        sweeper = problem.batched_chain_sweeper(blocks)
+    if sweeper is None:
+        from repro.models.sisc import run_sisc
+
+        return run_sisc(
+            problem, platform, config, host_order=host_order, guard=guard
+        )
+    engine = _LockstepEngine(
+        problem, platform, config, host_order, partition, blocks, sweeper, guard
+    )
+    result = engine.run()
+    if result is None:
+        # Divergence rollback would have fired: replay cannot express it.
+        from repro.models.sisc import run_sisc
+
+        return run_sisc(
+            problem, platform, config, host_order=host_order, guard=guard
+        )
+    return result
+
+
+class _LockstepEngine:
+    """One SISC run as a sequence of vectorised rounds."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        platform: Platform,
+        config: SolverConfig,
+        host_order: list[int],
+        partition: PartitionRegistry,
+        blocks: list[tuple[int, int]],
+        sweeper: Any,
+        guard: Any,
+    ) -> None:
+        self.problem = problem
+        # Same isolation contract as ChainRun: private platform copy,
+        # clean network state.
+        self.platform = copy.deepcopy(platform)
+        self.platform.network.reset()
+        self.config = config
+        self.host_order = host_order
+        self.partition = partition
+        self.blocks = blocks
+        self.sweeper = sweeper
+        self.guard = guard
+        self.n = len(blocks)
+        self.hosts = [self.platform.hosts[host_order[r]] for r in range(self.n)]
+        self.tracer = Tracer(enabled=config.trace)
+        self.nbytes = problem.halo_nbytes() + config.header_bytes
+        network = self.platform.network
+        # Per-directed-channel links and (when constant) transfer times.
+        self._links_left = [None] + [
+            network.link_for(self.hosts[r], self.hosts[r - 1])
+            for r in range(1, self.n)
+        ]
+        self._links_right = [
+            network.link_for(self.hosts[r], self.hosts[r + 1])
+            for r in range(self.n - 1)
+        ] + [None]
+        tl = [
+            _constant_transfer(link, self.nbytes) if link else 0.0
+            for link in self._links_left
+        ]
+        tr = [
+            _constant_transfer(link, self.nbytes) if link else 0.0
+            for link in self._links_right
+        ]
+        self._const_links = all(t is not None for t in tl + tr)
+        self._tl = np.array([t if t is not None else 0.0 for t in tl])
+        self._tr = np.array([t if t is not None else 0.0 for t in tr])
+        rates = [_constant_rate(h) for h in self.hosts]
+        self._const_hosts = all(r is not None for r in rates)
+        self._rates = np.array([r if r is not None else 1.0 for r in rates])
+        # Mutable run state ------------------------------------------------
+        self.T = 0.0
+        self.pos0 = np.arange(self.n)  # round-start scheduling order
+        self.streak = np.zeros(self.n, dtype=np.int64)
+        self.busy = np.zeros(self.n)
+        self.idle_acc = np.zeros(self.n)
+        self.iter_counts = np.zeros(self.n, dtype=np.int64)
+        self.residual_at = np.full(self.n, float("inf"))
+        self.last_left = np.full(self.n, -float("inf"))  # FIFO r -> r-1
+        self.last_right = np.full(self.n, -float("inf"))  # FIFO r -> r+1
+        self.n_dispatched = self.n  # the n spawn steps at t = 0
+        self.now = 0.0
+        self.converged = False
+        self.convergence_time: float | None = None
+        self.aborted_reason: str | None = None
+        self._msg_counts = {"halo_from_right": 0, "halo_from_left": 0}
+        self._msg_bytes = {"halo_from_right": 0.0, "halo_from_left": 0.0}
+        # Guard mirror state (divergence watchdog).
+        self._g_best = np.full(self.n, float("inf"))
+        self._g_streak = np.zeros(self.n, dtype=np.int64)
+        self._g_diverged = False
+
+    # ------------------------------------------------------------------
+    # Per-round timings
+    # ------------------------------------------------------------------
+    def _durations(self, work: np.ndarray) -> np.ndarray:
+        if self._const_hosts:
+            d = work / self._rates
+        else:
+            d = np.array(
+                [
+                    self.hosts[r].duration_for_work(float(work[r]), self.T)
+                    for r in range(self.n)
+                ]
+            )
+        return np.maximum(d, self.config.min_sweep_duration)
+
+    def _transfers(self, t_se: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Raw (unclamped) transfer times for left/right sends this round."""
+        if self._const_links:
+            return self._tl, self._tr
+        tl = np.zeros(self.n)
+        tr = np.zeros(self.n)
+        for r in range(1, self.n):
+            tl[r] = self._links_left[r].transfer_time(self.nbytes, float(t_se[r]))
+        for r in range(self.n - 1):
+            tr[r] = self._links_right[r].transfer_time(
+                self.nbytes, float(t_se[r])
+            )
+        return tl, tr
+
+    # ------------------------------------------------------------------
+    # Guard hooks (InvariantMonitor compatibility, lockstep-native)
+    # ------------------------------------------------------------------
+    def _guard_conservation(self) -> None:
+        from repro.guard.invariants import InvariantViolation
+
+        counts = self.sweeper.component_counts()
+        cursor = 0
+        for rank, (lo, hi) in enumerate(self.blocks):
+            reg = self.partition.block(rank)
+            if reg != (lo, hi):
+                raise InvariantViolation(
+                    f"invariant violated at t={self.now:.6g}: rank {rank} "
+                    f"block {(lo, hi)} disagrees with registry {reg}"
+                )
+            if int(counts[rank]) != hi - lo:
+                raise InvariantViolation(
+                    f"invariant violated at t={self.now:.6g}: rank {rank} "
+                    f"holds {int(counts[rank])} components but owns "
+                    f"[{lo}, {hi})"
+                )
+            if lo != cursor:
+                raise InvariantViolation(
+                    f"invariant violated at t={self.now:.6g}: component(s) "
+                    f"lost or duplicated at index {min(lo, cursor)}"
+                )
+            cursor = hi
+        if cursor != self.problem.n_components:
+            raise InvariantViolation(
+                f"invariant violated at t={self.now:.6g}: coverage ends at "
+                f"{cursor}, expected {self.problem.n_components} components"
+            )
+
+    def _guard_events(self, events: int) -> None:
+        """Advance the guard's event counter at the reference cadence."""
+        guard = self.guard
+        if guard is None:
+            return
+        before = guard.events_seen
+        guard.events_seen = before + events
+        every = guard.config.check_every
+        checks = guard.events_seen // every - before // every
+        if checks:
+            guard.checks_run += checks
+            self._guard_conservation()
+
+    def _guard_divergence(self, residual: np.ndarray, idx: np.ndarray) -> bool:
+        """Mirror the divergence watchdog for ranks ``idx`` this round.
+
+        Detection only — the replay has no rollback; on detection the
+        caller abandons the replay and reruns the reference engine,
+        whose own :class:`~repro.guard.watchdogs.DivergenceGuard`
+        performs the actual rollback.
+        """
+        guard = self.guard
+        if guard is None:
+            return False
+        cfg = guard.config
+        res = residual[idx]
+        best = self._g_best[idx]
+        finite = np.isfinite(res)
+        improved = finite & (res < best)
+        floor = np.maximum(best, self.config.tolerance)
+        blowup = ~finite | (
+            np.isfinite(best) & (res > floor * cfg.divergence_factor)
+        )
+        blowup &= ~improved
+        self._g_best[idx] = np.where(improved, res, best)
+        self._g_streak[idx[improved]] = 0
+        self._g_streak[idx[blowup]] += 1
+        if np.any(~finite) or np.any(
+            self._g_streak[idx] >= cfg.divergence_patience
+        ):
+            self._g_diverged = True
+        return self._g_diverged
+
+    def _guard_verify_halt(self) -> dict[str, Any]:
+        """Native halt verification; installed as ``guard.verify_halt``.
+
+        Same contract as :meth:`repro.guard.InvariantMonitor.
+        verify_halt`: re-check conservation on the final batched state,
+        recompute the true global residual, raise on a premature halt.
+        """
+        guard = self.guard
+        assert guard is not None
+        from repro.guard.invariants import InvariantViolation
+
+        self._guard_conservation()
+        guard.checks_run += 1
+        residual = self.sweeper.probe_residual()
+        tolerance = self.config.tolerance
+        slack = guard.config.halt_slack
+        verdict = {
+            "declared_converged": bool(self.converged),
+            "true_residual": residual,
+            "tolerance": tolerance,
+            "halt_slack": slack,
+        }
+        guard.halt_verdict = verdict
+        if self.converged and not residual <= tolerance * slack:
+            raise InvariantViolation(
+                f"invariant violated at t={self.now:.6g}: premature "
+                f"termination: convergence was declared but the true global "
+                f"residual is {residual:.6e} (tolerance {tolerance:.1e}, "
+                f"slack x{slack:g})"
+            )
+        return verdict
+
+    def _guard_reset(self) -> None:
+        """Undo mirror bookkeeping before falling back to the reference."""
+        guard = self.guard
+        if guard is not None:
+            guard.events_seen = 0
+            guard.checks_run = 0
+            guard.halt_verdict = None
+            guard._lockstep_verify = None
+
+    # ------------------------------------------------------------------
+    # Collapsed dispatch keys
+    #
+    # The reference scheduler orders events by ``(time, push_seq)``.
+    # Within one round the push tree is known: mids are pushed at round
+    # start in ``pos0`` order, each end by its mid, each delivery by its
+    # sender's end (left send first, then right), each wait-resume by
+    # the delivery that triggered it.  Nested tuples of the form
+    # ``(time, (parent_key, push_index))`` compare exactly like the
+    # reference ``(time, seq)`` pairs for any two same-round events, so
+    # they resolve exact float ties without simulating.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key_mid(r: int, t_mid: np.ndarray, pos0: np.ndarray) -> tuple:
+        return (float(t_mid[r]), (_D_ROOT, int(pos0[r])))
+
+    @classmethod
+    def _key_end(
+        cls, r: int, t_mid: np.ndarray, t_se: np.ndarray, pos0: np.ndarray
+    ) -> tuple:
+        return (float(t_se[r]), (cls._key_mid(r, t_mid, pos0), 0))
+
+    @classmethod
+    def _key_send(
+        cls,
+        r: int,
+        side: str,
+        arr: float,
+        t_mid: np.ndarray,
+        t_se: np.ndarray,
+        pos0: np.ndarray,
+    ) -> tuple:
+        # Push index inside r's end event: the left send is scheduled
+        # first, then the right send (rank 0 only sends right).
+        idx = 0 if side == "left" or r == 0 else 1
+        return (float(arr), (cls._key_end(r, t_mid, t_se, pos0), idx))
+
+    # ------------------------------------------------------------------
+    # Convergence / abort scan
+    # ------------------------------------------------------------------
+    def _stop_scan(
+        self, k: int, residual: np.ndarray, order_end: np.ndarray
+    ) -> tuple[int | None, int | None, int | None, np.ndarray]:
+        """First end-dispatch position at which the run stops, if any.
+
+        The supervisor trips at the first report where every rank is
+        satisfied — ranks reporting earlier this round by their *new*
+        streak, ranks reporting later by their previous one.  The
+        ``max_iterations`` abort fires inside the first end event of
+        the round (every rank's check would, but the first one stops
+        the simulator).
+        """
+        cfg = self.config
+        n = self.n
+        streak_new = np.where(
+            residual < cfg.tolerance, self.streak + 1, 0
+        ).astype(np.int64)
+        new_sat = (streak_new >= cfg.persistence)[order_end]
+        old_sat = (self.streak >= cfg.persistence)[order_end]
+        pref = np.logical_and.accumulate(new_sat)
+        suffix_after = np.empty(n, dtype=bool)
+        suffix_after[-1] = True
+        if n > 1:
+            suffix_after[:-1] = np.logical_and.accumulate(old_sat[::-1])[::-1][1:]
+        cand = pref & suffix_after
+        trigger_pos = int(np.argmax(cand)) if bool(cand.any()) else None
+        abort_pos = 0 if (k + 1) >= cfg.max_iterations else None
+        positions = [p for p in (trigger_pos, abort_pos) if p is not None]
+        stop_pos = min(positions) if positions else None
+        return stop_pos, trigger_pos, abort_pos, streak_new
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult | None:
+        """Replay the run round by round; ``None`` => fall back."""
+        n = self.n
+        cfg = self.config
+        horizon = cfg.max_time
+        neg_inf = -float("inf")
+        all_ranks = np.arange(n)
+        # The monitor sits in the profiler slot and sees every event,
+        # including the n spawn steps at t = 0.
+        self._guard_events(n)
+        k = 0
+        while True:
+            T = self.T
+            pos0 = self.pos0
+            residual, work = self.sweeper.sweep()
+            residual = np.asarray(residual, dtype=float)
+            work = np.asarray(work, dtype=float)
+            d = self._durations(work)
+            first = d * cfg.overlap_split
+            t_mid = T + first
+            t_se = t_mid + (d - first)
+            # Dispatch order of mid / end events.  Both lexsorts are
+            # exact: mids are pushed at T in pos0 order (equal t_mid
+            # resolves by push sequence = pos0), and each end is pushed
+            # by its own mid (equal t_se resolves by mid dispatch
+            # order).
+            order_mid = np.lexsort((pos0, t_mid))
+            mid_pos = np.empty(n, dtype=np.int64)
+            mid_pos[order_mid] = np.arange(n)
+            order_end = np.lexsort((mid_pos, t_se))
+
+            stop_pos, trigger_pos, abort_pos, streak_new = self._stop_scan(
+                k, residual, order_end
+            )
+            if stop_pos is not None:
+                t_stop = float(t_se[order_end[stop_pos]])
+                if horizon is None or t_stop <= horizon:
+                    return self._finish_stop(
+                        k,
+                        residual,
+                        work,
+                        t_mid,
+                        t_se,
+                        pos0,
+                        order_end,
+                        trigger_pos,
+                        abort_pos,
+                        stop_pos,
+                    )
+
+            # Raw arrival times of this round's 2(n-1) halo sends
+            # (FIFO-clamped against the previous round's arrivals).
+            tl, tr = self._transfers(t_se)
+            arr_l = np.full(n, neg_inf)  # r's send to r-1
+            arr_r = np.full(n, neg_inf)  # r's send to r+1
+            if n > 1:
+                arr_l[1:] = np.maximum(
+                    t_se[1:] + tl[1:], self.last_left[1:] + _FIFO_EPSILON
+                )
+                arr_r[:-1] = np.maximum(
+                    t_se[:-1] + tr[:-1], self.last_right[:-1] + _FIFO_EPSILON
+                )
+            # Inbound arrivals per receiver, and "late" = the delivery
+            # dispatches after the receiver's end event (the receiver
+            # must block for it).
+            in_l = np.full(n, neg_inf)
+            in_r = np.full(n, neg_inf)
+            if n > 1:
+                in_l[1:] = arr_r[:-1]
+                in_r[:-1] = arr_l[1:]
+            late_l = in_l > t_se
+            late_r = in_r > t_se
+            # An exact arrival/end tie resolves by dispatch key.  With
+            # the times equal, ``_key_send(s, ...) > _key_end(r, ...)``
+            # collapses to comparing the sender's end key against the
+            # receiver's mid key, which is decided by their times —
+            # and on *that* tie the sender's end wins, because its key
+            # nests one level deeper than the receiver's mid
+            # (``_key_mid``'s parent is ``_D_ROOT``, which loses to any
+            # real event key).  Hence: late iff t_se[s] >= t_mid[r].
+            if n > 1:
+                late_l[1:] |= (in_l[1:] == t_se[1:]) & (
+                    t_se[:-1] >= t_mid[1:]
+                )
+                late_r[:-1] |= (in_r[:-1] == t_se[:-1]) & (
+                    t_se[1:] >= t_mid[:-1]
+                )
+            A = np.maximum(
+                t_se,
+                np.maximum(
+                    np.where(late_l, in_l, neg_inf),
+                    np.where(late_r, in_r, neg_inf),
+                ),
+            )
+            T_next = float(A.max())
+            if horizon is not None and T_next > horizon:
+                return self._finish_horizon(
+                    k, residual, work, t_mid, t_se, pos0, order_end,
+                    arr_l, arr_r, late_l, late_r,
+                )
+
+            # ---- commit this complete round --------------------------
+            if self._guard_divergence(residual, all_ranks):
+                self._guard_reset()
+                return None
+            net = self.platform.network
+            if n > 1:
+                self.last_left[1:] = arr_l[1:]
+                self.last_right[:-1] = arr_r[:-1]
+                net.bytes_sent = _repeat_add(
+                    net.bytes_sent, self.nbytes, 2 * (n - 1)
+                )
+                net.messages_sent += 2 * (n - 1)
+                for kind in ("halo_from_right", "halo_from_left"):
+                    self._msg_counts[kind] += n - 1
+                    self._msg_bytes[kind] = _repeat_add(
+                        self._msg_bytes[kind], self.nbytes, n - 1
+                    )
+            # NB: the tracer accumulates ``busy + t1 - t0`` left to
+            # right; replicate that association bitwise.
+            self.busy = (self.busy + t_se) - T
+            self.iter_counts += 1
+            self.residual_at[:] = residual
+            self.streak = streak_new
+
+            # Barrier arrival order (= dispatch order of each rank's
+            # arrival event: its own end, or its final wait-resume).
+            # The nested dispatch keys flatten to fixed-width rows of
+            # scalars that one ``np.lexsort`` orders exactly like the
+            # tuple comparison would — hot at scale, where a
+            # homogeneous cluster ties every rank every round:
+            #
+            #   no late halo:  (t_se, t_mid,  -1.0,    -1.0,    pos0,    0)
+            #     = key_end(r) flattened; note A == t_se here.
+            #   late halo:     (A,    arr*, t_se[s*], t_mid[s*], pos0[s*], idx*)
+            #     = (A[r], (d_star, 0)) flattened, s*/arr*/idx* the
+            #       governing delivery's sender, arrival and push index.
+            #
+            # Cross-shape comparisons always resolve by column 2
+            # (-1.0 < any real t_se), exactly as ``_D_ROOT`` loses to
+            # any real event key inside the nested form; trailing pads
+            # are reached only against another no-late row, where they
+            # are equal and pos0 (a permutation) decides.
+            sL = np.maximum(all_ranks - 1, 0)  # sender of r's left-in halo
+            sR = np.minimum(all_ranks + 1, n - 1)  # sender of right-in halo
+            Lf2, Lf3, Li0 = t_se[sL], t_mid[sL], pos0[sL]
+            Rf2, Rf3, Ri0 = t_se[sR], t_mid[sR], pos0[sR]
+            Li1 = (sL != 0).astype(np.int64)  # right send: idx 1 unless rank 0
+            Ri1 = np.zeros(n, dtype=np.int64)  # left send is pushed first
+            # Both halos late: the governing delivery is the later one
+            # — or, at the same arrival instant, the *earlier-keyed*
+            # one (its resume dispatches after both halos are in).
+            # Senders r-1 and r+1 are distinct ranks, so pos0 breaks
+            # any remaining tie before the push index could matter.
+            L_lt_R = (
+                (Lf2 < Rf2)
+                | ((Lf2 == Rf2) & (Lf3 < Rf3))
+                | ((Lf2 == Rf2) & (Lf3 == Rf3) & (Li0 < Ri0))
+            )
+            use_L = np.where(in_l == in_r, L_lt_R, in_l > in_r)
+            use_L = np.where(late_l & late_r, use_L, late_l)
+            has_late = late_l | late_r
+            f1 = np.where(has_late, np.where(use_L, in_l, in_r), t_mid)
+            f2 = np.where(has_late, np.where(use_L, Lf2, Rf2), -1.0)
+            f3 = np.where(has_late, np.where(use_L, Lf3, Rf3), -1.0)
+            i0 = np.where(has_late, np.where(use_L, Li0, Ri0), pos0)
+            i1 = np.where(has_late, np.where(use_L, Li1, Ri1), 0)
+            order_arr = np.lexsort((i1, i0, f3, f2, f1, A))
+            releaser = int(order_arr[-1])
+
+            # Dispatched-event count for the round: n mids + n ends +
+            # 2(n-1) deliveries + wait-resumes + (n-1) barrier resumes.
+            n_late = late_l.astype(np.int64) + late_r.astype(np.int64)
+            both_same = late_l & late_r & (in_l == in_r)
+            wait_resumes = int(
+                np.where(
+                    n_late == 0, 0, np.where((n_late == 1) | both_same, 1, 2)
+                ).sum()
+            )
+            events = 2 * n + 2 * (n - 1) + wait_resumes + (n - 1)
+            self.n_dispatched += events
+            self._guard_events(events)
+
+            strict = T_next > t_se
+            self.idle_acc[strict] = (self.idle_acc[strict] + T_next) - t_se[
+                strict
+            ]
+
+            if self.tracer.enabled:
+                tr_ = self.tracer
+                for r in order_end:
+                    r = int(r)
+                    tr_.iterations.append(
+                        IterationSpan(
+                            rank=r,
+                            iteration=k + 1,
+                            t0=T,
+                            t1=float(t_se[r]),
+                            work=float(work[r]),
+                        )
+                    )
+                    tr_.residuals.append(
+                        ResidualRecord(
+                            rank=r,
+                            iteration=k + 1,
+                            time=float(t_se[r]),
+                            residual=float(residual[r]),
+                            n_local=self.blocks[r][1] - self.blocks[r][0],
+                        )
+                    )
+                    if r > 0:
+                        tr_.messages.append(
+                            MessageRecord(
+                                kind="halo_from_right",
+                                src_rank=r,
+                                dst_rank=r - 1,
+                                size_bytes=self.nbytes,
+                                send_time=float(t_se[r]),
+                                arrival_time=float(arr_l[r]),
+                            )
+                        )
+                    if r < n - 1:
+                        tr_.messages.append(
+                            MessageRecord(
+                                kind="halo_from_left",
+                                src_rank=r,
+                                dst_rank=r + 1,
+                                size_bytes=self.nbytes,
+                                send_time=float(t_se[r]),
+                                arrival_time=float(arr_r[r]),
+                            )
+                        )
+                if T_next > t_se[releaser]:
+                    tr_.idles.append(
+                        IdleSpan(
+                            rank=releaser,
+                            t0=float(t_se[releaser]),
+                            t1=T_next,
+                            reason="sisc-sync",
+                        )
+                    )
+                for x in order_arr[:-1]:
+                    x = int(x)
+                    if T_next > t_se[x]:
+                        tr_.idles.append(
+                            IdleSpan(
+                                rank=x,
+                                t0=float(t_se[x]),
+                                t1=T_next,
+                                reason="sisc-sync",
+                            )
+                        )
+
+            # Next round: the releaser restarts inline, the waiters
+            # resume in arrival order — that is the push order of the
+            # next round's mid events.
+            new_pos0 = np.empty(n, dtype=np.int64)
+            new_pos0[releaser] = 0
+            if n > 1:
+                new_pos0[order_arr[:-1]] = np.arange(1, n)
+            self.pos0 = new_pos0
+            self.T = T_next
+            self.now = T_next
+            k += 1
+
+    # ------------------------------------------------------------------
+    # Truncated final rounds
+    # ------------------------------------------------------------------
+    def _finish_stop(
+        self,
+        k: int,
+        residual: np.ndarray,
+        work: np.ndarray,
+        t_mid: np.ndarray,
+        t_se: np.ndarray,
+        pos0: np.ndarray,
+        order_end: np.ndarray,
+        trigger_pos: int | None,
+        abort_pos: int | None,
+        stop_pos: int,
+    ) -> RunResult | None:
+        """The round in which the supervisor (or the abort) stops the sim.
+
+        The stopping rank's end event is the last dispatched event:
+        ends at positions ``<= stop_pos`` complete their accounting,
+        positions ``< stop_pos`` also send their halos (the stop rank
+        breaks before sending), and everything else in the queue —
+        later ends, undelivered halos, pending mids — is abandoned.
+        """
+        n = self.n
+        cfg = self.config
+        T = self.T
+        acc = order_end[: stop_pos + 1].astype(np.int64)
+        if self._guard_divergence(residual, acc):
+            self._guard_reset()
+            return None
+        stop_rank = int(order_end[stop_pos])
+        t_stop = float(t_se[stop_rank])
+        senders = [int(r) for r in order_end[:stop_pos]]
+
+        self.busy[acc] = (self.busy[acc] + t_se[acc]) - T
+        self.iter_counts[acc] += 1
+        self.residual_at[acc] = residual[acc]
+        if trigger_pos is not None and stop_pos == trigger_pos:
+            self.converged = True
+            self.convergence_time = t_stop
+        if abort_pos is not None and stop_pos == abort_pos:
+            self.aborted_reason = (
+                f"rank {stop_rank} exceeded "
+                f"max_iterations={cfg.max_iterations}"
+            )
+        self.now = t_stop
+
+        # Sends from completed, non-stopping ends (in dispatch order).
+        tl, tr = self._transfers(t_se)
+        net = self.platform.network
+        arr_l: dict[int, float] = {}
+        arr_r: dict[int, float] = {}
+        for r in senders:
+            if r > 0:
+                a = max(
+                    float(t_se[r] + tl[r]), self.last_left[r] + _FIFO_EPSILON
+                )
+                self.last_left[r] = a
+                arr_l[r] = a
+                net.bytes_sent = _repeat_add(net.bytes_sent, self.nbytes, 1)
+                net.messages_sent += 1
+                self._msg_counts["halo_from_right"] += 1
+                self._msg_bytes["halo_from_right"] = _repeat_add(
+                    self._msg_bytes["halo_from_right"], self.nbytes, 1
+                )
+            if r < n - 1:
+                a = max(
+                    float(t_se[r] + tr[r]), self.last_right[r] + _FIFO_EPSILON
+                )
+                self.last_right[r] = a
+                arr_r[r] = a
+                net.bytes_sent = _repeat_add(net.bytes_sent, self.nbytes, 1)
+                net.messages_sent += 1
+                self._msg_counts["halo_from_left"] += 1
+                self._msg_bytes["halo_from_left"] = _repeat_add(
+                    self._msg_bytes["halo_from_left"], self.nbytes, 1
+                )
+
+        # Events dispatched this round, bounded by the stop end's key.
+        # Mids at t <= t_stop all dispatch (a mid's key always sorts
+        # below an end key at the same instant: its parent is the
+        # round-start root).
+        d_stop = self._key_end(stop_rank, t_mid, t_se, pos0)
+        events = int((t_mid <= t_stop).sum()) + (stop_pos + 1)
+        deliv_keys: dict[tuple[int, str], tuple] = {}
+        for r in senders:
+            if r > 0:
+                key = self._key_send(r, "left", arr_l[r], t_mid, t_se, pos0)
+                if key < d_stop:
+                    events += 1
+                deliv_keys[(r - 1, "right_in")] = key
+            if r < n - 1:
+                key = self._key_send(r, "right", arr_r[r], t_mid, t_se, pos0)
+                if key < d_stop:
+                    events += 1
+                deliv_keys[(r + 1, "left_in")] = key
+        # Wait-resume chains of ranks that entered the halo wait (only
+        # completed, non-stopping ends do).
+        for w in senders:
+            end_key = self._key_end(w, t_mid, t_se, pos0)
+            lates = sorted(
+                key
+                for side in ("left_in", "right_in")
+                for key in (deliv_keys.get((w, side)),)
+                if key is not None and key > end_key
+            )
+            if not lates:
+                continue
+            if len(lates) == 2 and lates[0][0] == lates[1][0]:
+                chain = [(lates[0], (lates[0][0], (lates[0], 0)))]
+            else:
+                chain = [(kk, (kk[0], (kk, 0))) for kk in lates]
+            for deliv_key, resume_key in chain:
+                if deliv_key < d_stop and resume_key < d_stop:
+                    events += 1
+                else:
+                    break
+        self.n_dispatched += events
+        self._guard_events(events)
+
+        if self.tracer.enabled:
+            tr_ = self.tracer
+            for pos in range(stop_pos + 1):
+                r = int(order_end[pos])
+                tr_.iterations.append(
+                    IterationSpan(
+                        rank=r,
+                        iteration=k + 1,
+                        t0=T,
+                        t1=float(t_se[r]),
+                        work=float(work[r]),
+                    )
+                )
+                tr_.residuals.append(
+                    ResidualRecord(
+                        rank=r,
+                        iteration=k + 1,
+                        time=float(t_se[r]),
+                        residual=float(residual[r]),
+                        n_local=self.blocks[r][1] - self.blocks[r][0],
+                    )
+                )
+                if pos < stop_pos:
+                    if r > 0:
+                        tr_.messages.append(
+                            MessageRecord(
+                                kind="halo_from_right",
+                                src_rank=r,
+                                dst_rank=r - 1,
+                                size_bytes=self.nbytes,
+                                send_time=float(t_se[r]),
+                                arrival_time=arr_l[r],
+                            )
+                        )
+                    if r < n - 1:
+                        tr_.messages.append(
+                            MessageRecord(
+                                kind="halo_from_left",
+                                src_rank=r,
+                                dst_rank=r + 1,
+                                size_bytes=self.nbytes,
+                                send_time=float(t_se[r]),
+                                arrival_time=arr_r[r],
+                            )
+                        )
+        return self._assemble()
+
+    def _finish_horizon(
+        self,
+        k: int,
+        residual: np.ndarray,
+        work: np.ndarray,
+        t_mid: np.ndarray,
+        t_se: np.ndarray,
+        pos0: np.ndarray,
+        order_end: np.ndarray,
+        arr_l: np.ndarray,
+        arr_r: np.ndarray,
+        late_l: np.ndarray,
+        late_r: np.ndarray,
+    ) -> RunResult | None:
+        """The round cut by ``max_time``: a pure time cutoff.
+
+        Events at ``t <= max_time`` dispatch, the rest stay queued and
+        the clock is advanced to exactly the horizon.  The barrier
+        never opens (its release time is past the horizon), so no idle
+        spans are recorded.
+        """
+        n = self.n
+        h = float(self.config.max_time)
+        T = self.T
+        m = t_se <= h
+        idx = np.nonzero(m)[0].astype(np.int64)
+        if self._guard_divergence(residual, idx):
+            self._guard_reset()
+            return None
+        self.busy[idx] = (self.busy[idx] + t_se[idx]) - T
+        self.iter_counts[idx] += 1
+        self.residual_at[idx] = residual[idx]
+        self.now = h
+
+        net = self.platform.network
+        accounted_in_order = [int(r) for r in order_end if m[r]]
+        for r in accounted_in_order:
+            if r > 0:
+                self.last_left[r] = arr_l[r]
+                net.bytes_sent = _repeat_add(net.bytes_sent, self.nbytes, 1)
+                net.messages_sent += 1
+                self._msg_counts["halo_from_right"] += 1
+                self._msg_bytes["halo_from_right"] = _repeat_add(
+                    self._msg_bytes["halo_from_right"], self.nbytes, 1
+                )
+            if r < n - 1:
+                self.last_right[r] = arr_r[r]
+                net.bytes_sent = _repeat_add(net.bytes_sent, self.nbytes, 1)
+                net.messages_sent += 1
+                self._msg_counts["halo_from_left"] += 1
+                self._msg_bytes["halo_from_left"] = _repeat_add(
+                    self._msg_bytes["halo_from_left"], self.nbytes, 1
+                )
+
+        events = int((t_mid <= h).sum()) + len(accounted_in_order)
+        for r in accounted_in_order:
+            if r > 0 and arr_l[r] <= h:
+                events += 1
+            if r < n - 1 and arr_r[r] <= h:
+                events += 1
+        # Wait-resumes: an accounted rank blocks on its late halos; a
+        # resume fires per late delivery that exists (sender accounted)
+        # and dispatches within the horizon — except that two late
+        # halos arriving at the same instant trigger a single resume.
+        for w in idx:
+            w = int(w)
+            times = []
+            if w > 0 and late_l[w] and m[w - 1]:
+                times.append(float(arr_r[w - 1]))
+            if w < n - 1 and late_r[w] and m[w + 1]:
+                times.append(float(arr_l[w + 1]))
+            if not times:
+                continue
+            times.sort()
+            if len(times) == 2 and times[0] == times[1]:
+                times = times[:1]
+            events += sum(1 for t in times if t <= h)
+        self.n_dispatched += events
+        self._guard_events(events)
+
+        if self.tracer.enabled:
+            tr_ = self.tracer
+            for r in accounted_in_order:
+                tr_.iterations.append(
+                    IterationSpan(
+                        rank=r,
+                        iteration=k + 1,
+                        t0=T,
+                        t1=float(t_se[r]),
+                        work=float(work[r]),
+                    )
+                )
+                tr_.residuals.append(
+                    ResidualRecord(
+                        rank=r,
+                        iteration=k + 1,
+                        time=float(t_se[r]),
+                        residual=float(residual[r]),
+                        n_local=self.blocks[r][1] - self.blocks[r][0],
+                    )
+                )
+                if r > 0:
+                    tr_.messages.append(
+                        MessageRecord(
+                            kind="halo_from_right",
+                            src_rank=r,
+                            dst_rank=r - 1,
+                            size_bytes=self.nbytes,
+                            send_time=float(t_se[r]),
+                            arrival_time=float(arr_l[r]),
+                        )
+                    )
+                if r < n - 1:
+                    tr_.messages.append(
+                        MessageRecord(
+                            kind="halo_from_left",
+                            src_rank=r,
+                            dst_rank=r + 1,
+                            size_bytes=self.nbytes,
+                            send_time=float(t_se[r]),
+                            arrival_time=float(arr_r[r]),
+                        )
+                    )
+        return self._assemble()
+
+    # ------------------------------------------------------------------
+    # Result assembly (mirrors ChainRun.result())
+    # ------------------------------------------------------------------
+    def _assemble(self) -> RunResult:
+        n = self.n
+        tr_ = self.tracer
+        for r in range(n):
+            if self.iter_counts[r] > 0:
+                tr_._busy[r] = float(self.busy[r])
+                tr_._iter_counts[r] = int(self.iter_counts[r])
+            if self.idle_acc[r] > 0.0:
+                tr_._idle[r] = float(self.idle_acc[r])
+        for kind in ("halo_from_right", "halo_from_left"):
+            if self._msg_counts[kind]:
+                tr_._msg_counts[kind] = self._msg_counts[kind]
+                tr_._msg_bytes[kind] = self._msg_bytes[kind]
+        if self.guard is not None:
+            self.guard._lockstep_verify = self._guard_verify_halt
+        time = (
+            self.convergence_time
+            if self.convergence_time is not None
+            else self.now
+        )
+        net = self.platform.network
+        return RunResult(
+            model="sisc",
+            converged=self.converged,
+            time=time,
+            iterations=[int(c) for c in self.iter_counts],
+            work=[float(b) for b in self.busy],
+            solution_blocks=[
+                self.sweeper.solution_block(r) for r in range(n)
+            ],
+            final_partition=list(self.blocks),
+            residuals_at_stop=[float(x) for x in self.residual_at],
+            tracer=tr_,
+            n_migrations=tr_.n_migrations(),
+            components_migrated=tr_.components_migrated(),
+            meta={
+                "aborted_reason": self.aborted_reason,
+                "stale_halos_dropped": 0,
+                "oracle_detection_time": self.convergence_time,
+                "detection_messages": 0,
+                "network_bytes": net.bytes_sent,
+                "network_messages": net.messages_sent,
+                "transport_per_rank": [
+                    {
+                        "rank": r,
+                        "retries": 0,
+                        "sends_failed": 0,
+                        "duplicates_suppressed": 0,
+                        "stale_rejected": 0,
+                        "crashes": 0,
+                    }
+                    for r in range(n)
+                ],
+                "engine": "lockstep",
+                "events_dispatched": self.n_dispatched,
+            },
+        )

@@ -24,6 +24,7 @@ generic", Section 5).
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any
@@ -98,6 +99,33 @@ class Problem(ABC):
     @abstractmethod
     def iterate(self, state: Any, left_halo: Any, right_halo: Any) -> IterationResult:
         """One relaxation sweep; mutates ``state``, returns residual/work."""
+
+    def copy_state(self, state: Any) -> Any:
+        """Deep snapshot of a local state (checkpoints, verification).
+
+        The default is a generic ``copy.deepcopy``; problems whose state
+        is a thin wrapper around arrays override this with direct array
+        copies, which is both faster and far leaner in memory (deepcopy
+        builds a memo dict per call — measurable at thousands of ranks).
+        The copy must be numerically identical and fully independent of
+        the original.
+        """
+        return copy.deepcopy(state)
+
+    def batched_chain_sweeper(self, blocks: list[tuple[int, int]]) -> Any:
+        """A vectorised whole-chain sweeper for static ``blocks``, or None.
+
+        When a problem can express "every block sweeps once against its
+        neighbours' previous-iteration boundaries" as one global
+        vectorised operation, it returns an object with the interface
+        expected by :func:`repro.models.lockstep.run_sisc_batched`
+        (``sweep()``, ``solution_block()``, ``probe_residual()``,
+        ``component_counts()``).  The per-block numerics of the sweeper
+        must be *bit-identical* to per-rank :meth:`iterate` calls.  The
+        default (None) routes synchronous large-N runs down the ordinary
+        per-rank path.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Halos

@@ -503,6 +503,19 @@ class BrusselatorProblem(Problem):
     def n_local(self, state: BrusselatorState) -> int:
         return state.n
 
+    def copy_state(self, state: BrusselatorState) -> BrusselatorState:
+        def _arr(a: np.ndarray | None) -> np.ndarray | None:
+            return None if a is None else a.copy()
+
+        return BrusselatorState(
+            lo=state.lo,
+            traj=state.traj.copy(),
+            prev_res=_arr(state.prev_res),
+            skip_streak=_arr(state.skip_streak),
+            last_left_halo=_arr(state.last_left_halo),
+            last_right_halo=_arr(state.last_right_halo),
+        )
+
     def _invalidate_skip_state(self, state: BrusselatorState) -> None:
         """After a migration the block changed shape: recompute everything
         next sweep (the skip bookkeeping re-populates from scratch)."""

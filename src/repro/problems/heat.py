@@ -80,6 +80,9 @@ class HeatProblem(Problem):
     def n_local(self, state: HeatState) -> int:
         return state.n
 
+    def copy_state(self, state: HeatState) -> HeatState:
+        return HeatState(lo=state.lo, traj=state.traj.copy())
+
     def iterate(
         self,
         state: HeatState,

@@ -16,6 +16,7 @@ package reproduces that programming model on the DES:
   by the Gantt renderings (Figures 1–4) and all metrics.
 """
 
+from repro.runtime.memory import export_memory_metrics, peak_rss_bytes
 from repro.runtime.message import Message
 from repro.runtime.node import GridNode
 from repro.runtime.tracer import (
@@ -30,6 +31,8 @@ from repro.runtime.tracer import (
 __all__ = [
     "Message",
     "GridNode",
+    "peak_rss_bytes",
+    "export_memory_metrics",
     "Tracer",
     "IterationSpan",
     "IdleSpan",

@@ -113,6 +113,36 @@ class GridNode:
         Shared trace recorder.
     """
 
+    # Per-rank instances number in the thousands at scale; slots remove
+    # the per-instance __dict__ (a few hundred bytes each) and catch
+    # typo'd attribute writes from injectors/handlers.
+    __slots__ = (
+        "sim",
+        "rank",
+        "host",
+        "network",
+        "tracer",
+        "_handlers",
+        "_busy_channels",
+        "stop_requested",
+        "injector",
+        "alive",
+        "crash_count",
+        "restart_signal",
+        "_newest_wins",
+        "_failure_handlers",
+        "_pending_latest",
+        "_send_seq",
+        "_recv_latest",
+        "_recv_seen",
+        "_last_heard",
+        "_parked",
+        "duplicates_suppressed",
+        "stale_rejected",
+        "retries",
+        "sends_failed",
+    )
+
     def __init__(
         self,
         sim: Simulator,

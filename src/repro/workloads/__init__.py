@@ -2,6 +2,7 @@
 
 from repro.workloads.scenarios import (
     Figure5Scenario,
+    ScaleScenario,
     Table1Scenario,
     ModelsComparisonScenario,
     TraceFigureScenario,
@@ -11,6 +12,7 @@ from repro.workloads.scenarios import (
 
 __all__ = [
     "Figure5Scenario",
+    "ScaleScenario",
     "Table1Scenario",
     "ModelsComparisonScenario",
     "TraceFigureScenario",

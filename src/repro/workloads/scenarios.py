@@ -33,6 +33,7 @@ from repro.util.rng import RngTree
 
 __all__ = [
     "Figure5Scenario",
+    "ScaleScenario",
     "Table1Scenario",
     "ModelsComparisonScenario",
     "TraceFigureScenario",
@@ -105,6 +106,80 @@ class Figure5Scenario:
             hard_rate=0.85,
             tolerance=1e-6,
         )
+
+    @classmethod
+    def scale(cls) -> "Figure5Scenario":
+        """``repro figure5 --scale``: the same curves out to 1024 ranks.
+
+        The problem grows with the top of the sweep (128 components per
+        rank at p=1024) so the largest point still has meaningful local
+        blocks; the tolerance is relaxed one notch to keep sweep counts
+        — and therefore event counts — tractable at this width.  This
+        preset is an explicit opt-in: the balanced arm still runs the
+        event-driven AIAC+LB solver, so expect minutes, not seconds.
+        """
+        return cls(
+            n_components=131_072,
+            proc_counts=(64, 128, 256, 512, 1024),
+            hard_rate=0.9,
+            tolerance=1e-8,
+        )
+
+
+@dataclass(frozen=True)
+class ScaleScenario:
+    """Large-N scaling instances for the lockstep SISC replay.
+
+    A ranks × components grid point: a homogeneous cluster (the replay
+    models SISC, whose rounds are closed-form there) and the synthetic
+    activity-concentration problem partitioned evenly (``n_components``
+    is always ``components_per_rank * n_ranks``, so blocks never go
+    empty and the batched sweeper's tiling stays rectangular).  Used by
+    ``benchmarks/bench_scale.py`` and the CI scale smoke; tracing is off
+    — per-event records at 10⁶+ events are exactly the memory profile
+    this scenario exists to avoid.
+    """
+
+    n_ranks: int = 256
+    components_per_rank: int = 512
+    easy_rate: float = 0.5
+    hard_rate: float = 0.9
+    hard_region: tuple[float, float] = (0.4, 0.6)
+    tolerance: float = 1e-8
+    host_speed: float = 1000.0
+    max_iterations: int = 500_000
+
+    @property
+    def n_components(self) -> int:
+        return self.n_ranks * self.components_per_rank
+
+    def problem(self) -> SyntheticProblem:
+        return SyntheticProblem.with_hard_region(
+            self.n_components,
+            easy_rate=self.easy_rate,
+            hard_rate=self.hard_rate,
+            region=self.hard_region,
+        )
+
+    def platform(self) -> Platform:
+        return homogeneous_cluster(self.n_ranks, speed=self.host_speed)
+
+    def solver_config(self) -> SolverConfig:
+        return SolverConfig(
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            trace=False,
+        )
+
+    @classmethod
+    def smoke(cls) -> "ScaleScenario":
+        """The CI scale-smoke point: 256 ranks, ~10⁵ components."""
+        return cls(n_ranks=256, components_per_rank=400)
+
+    @classmethod
+    def flagship(cls) -> "ScaleScenario":
+        """The headline BENCH_scale point: 1024 ranks, >10⁶ components."""
+        return cls(n_ranks=1024, components_per_rank=1024)
 
 
 @dataclass(frozen=True)

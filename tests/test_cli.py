@@ -31,6 +31,14 @@ def test_full_flag_only_on_scalable_commands():
         parser.parse_args(["models", "--full"])
 
 
+def test_scale_flag_selects_1024_rank_preset():
+    parser = build_parser()
+    args = parser.parse_args(["figure5", "--scale"])
+    assert args.scale
+    with pytest.raises(SystemExit):
+        parser.parse_args(["models", "--scale"])
+
+
 def test_ablations_unknown_key_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["ablations", "--only", "nonsense"])

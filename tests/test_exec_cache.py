@@ -166,3 +166,12 @@ def test_engine_recomputes_and_repairs_corrupt_entry(tmp_path):
     warm = SweepEngine(cache=RunCache(cache_dir))
     assert warm.map(keyed_tasks()) == expected
     assert warm.stats.hits == 2 and warm.stats.misses == 0
+
+
+def test_default_salt_embeds_state_layout_rev():
+    # Bumping the solver state-layout revision must invalidate every
+    # cached run without touching CACHE_EPOCH (the two invalidation
+    # axes stay independently auditable).
+    from repro.exec.cache import STATE_LAYOUT_REV
+
+    assert f"layout{STATE_LAYOUT_REV}" in code_salt()

@@ -1,0 +1,252 @@
+"""Differential tests: the lockstep SISC replay vs the reference DES run.
+
+``run_sisc_batched`` promises *bit-identical* results to ``run_sisc``
+whenever its preconditions hold.  These tests hold it to that promise
+across the tricky regimes — heterogeneous speeds, forced exact-time
+ties on homogeneous clusters, 1–2 rank chains, horizon/abort
+truncations, permuted host orders — comparing not just the numerical
+answer but the tracer's span records, the dispatched-event count and
+the guard's observation stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig
+from repro.core.solver import build_chain
+from repro.des import Barrier
+from repro.grid import homogeneous_cluster
+from repro.grid.host import Host
+from repro.grid.link import Link
+from repro.grid.network import Network
+from repro.grid.platform import Platform
+from repro.guard import GuardConfig, InvariantMonitor
+from repro.models import run_sisc, run_sisc_batched
+from repro.models.sisc import _sisc_process
+from repro.analysis.perf import run_fingerprint
+from repro.problems import SyntheticProblem
+
+
+def hetero_platform(speeds=(200.0, 130.0, 100.0, 170.0), latency=0.02):
+    net = Network(Link(latency=latency, bandwidth=1e6))
+    hosts = [Host(f"h{i}", speed=s) for i, s in enumerate(speeds)]
+    return Platform(hosts=hosts, network=net)
+
+
+def hard_problem(n=64):
+    return SyntheticProblem.with_hard_region(n, easy_rate=0.5, hard_rate=0.9)
+
+
+def assert_same_run(ref, fast):
+    """Field-by-field bit-identity of two RunResults."""
+    assert fast.meta["engine"] == "lockstep"  # no silent fallback
+    assert ref.converged == fast.converged
+    assert ref.time == fast.time
+    assert list(ref.iterations) == list(fast.iterations)
+    assert list(ref.work) == list(fast.work)
+    for a, b in zip(ref.solution_blocks, fast.solution_blocks):
+        assert np.array_equal(a, b)
+    assert list(ref.final_partition) == list(fast.final_partition)
+    assert list(ref.residuals_at_stop) == list(fast.residuals_at_stop)
+    # Tracer span records (frozen dataclasses): same spans, same order.
+    assert ref.tracer.iterations == fast.tracer.iterations
+    assert ref.tracer.residuals == fast.tracer.residuals
+    assert ref.tracer.messages == fast.tracer.messages
+    assert ref.tracer.idles == fast.tracer.idles
+    for r in range(ref.n_ranks):
+        assert ref.tracer.busy_time_of(r) == fast.tracer.busy_time_of(r)
+        assert ref.tracer.idle_time_of(r) == fast.tracer.idle_time_of(r)
+    assert ref.tracer.n_messages() == fast.tracer.n_messages()
+    skip = ("engine", "events_dispatched")
+    assert {k: v for k, v in ref.meta.items() if k not in skip} == {
+        k: v for k, v in fast.meta.items() if k not in skip
+    }
+    assert run_fingerprint(ref) == run_fingerprint(fast)
+
+
+CASES = {
+    "hetero": (
+        hard_problem(),
+        hetero_platform(),
+        SolverConfig(tolerance=1e-8),
+    ),
+    # Homogeneous + equal blocks: every rank ties every round, the
+    # all-vectorised tie-resolution path.
+    "homo_ties": (
+        hard_problem(),
+        homogeneous_cluster(8, speed=500.0),
+        SolverConfig(tolerance=1e-8),
+    ),
+    "single_rank": (
+        hard_problem(16),
+        homogeneous_cluster(1, speed=500.0),
+        SolverConfig(tolerance=1e-8),
+    ),
+    "two_ranks": (
+        hard_problem(18),
+        hetero_platform(speeds=(150.0, 100.0)),
+        SolverConfig(tolerance=1e-8),
+    ),
+    "persistence": (
+        hard_problem(),
+        hetero_platform(),
+        SolverConfig(tolerance=1e-6, persistence=3),
+    ),
+    "horizon": (
+        hard_problem(),
+        hetero_platform(),
+        SolverConfig(tolerance=1e-12, max_time=2.5),
+    ),
+    "horizon_ties": (
+        hard_problem(),
+        homogeneous_cluster(6, speed=400.0),
+        SolverConfig(tolerance=1e-12, max_time=1.0),
+    ),
+    "abort": (
+        hard_problem(),
+        hetero_platform(),
+        SolverConfig(tolerance=1e-12, max_iterations=40),
+    ),
+    "no_trace": (
+        hard_problem(),
+        hetero_platform(),
+        SolverConfig(tolerance=1e-8, trace=False),
+    ),
+    "min_sweep_duration": (
+        hard_problem(),
+        hetero_platform(),
+        SolverConfig(tolerance=1e-8, min_sweep_duration=0.05),
+    ),
+    "uneven_blocks": (
+        hard_problem(61),  # 61 over 4 ranks: per-slice reduction path
+        hetero_platform(),
+        SolverConfig(tolerance=1e-8),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_lockstep_matches_reference(name):
+    problem, platform, cfg = CASES[name]
+    ref = run_sisc(problem, platform, cfg)
+    fast = run_sisc_batched(problem, platform, cfg)
+    assert_same_run(ref, fast)
+
+
+def test_lockstep_matches_reference_host_order_permutation():
+    problem, platform = hard_problem(), hetero_platform()
+    cfg = SolverConfig(tolerance=1e-8)
+    order = [2, 0, 3, 1]
+    ref = run_sisc(problem, platform, cfg, host_order=order)
+    fast = run_sisc_batched(problem, platform, cfg, host_order=order)
+    assert_same_run(ref, fast)
+
+
+def _reference_events(problem, platform, cfg):
+    """run_sisc, but keeping the simulator to read its event counter."""
+    run = build_chain(problem, platform, cfg, model="sisc")
+    barrier = Barrier(run.n_ranks, name="sisc")
+    for ctx in run.ranks:
+        run.sim.spawn(f"sisc-rank-{ctx.rank}", _sisc_process(run, ctx, barrier))
+    run.run()
+    return run.result(), run.sim.n_dispatched
+
+
+@pytest.mark.parametrize(
+    "name", ["hetero", "homo_ties", "two_ranks", "horizon", "abort"]
+)
+def test_lockstep_event_count_matches_reference(name):
+    problem, platform, cfg = CASES[name]
+    ref, ref_events = _reference_events(problem, platform, cfg)
+    fast = run_sisc_batched(problem, platform, cfg)
+    assert fast.meta["engine"] == "lockstep"
+    assert fast.meta["events_dispatched"] == ref_events
+    assert run_fingerprint(ref) == run_fingerprint(fast)
+
+
+@pytest.mark.parametrize("name", ["hetero", "homo_ties", "abort"])
+def test_lockstep_guard_parity(name):
+    """The guard observes the identical event/check stream either way."""
+    problem, platform, cfg = CASES[name]
+    gcfg = GuardConfig(check_every=16)
+    g_ref = InvariantMonitor(gcfg)
+    g_fast = InvariantMonitor(gcfg)
+    ref = run_sisc(problem, platform, cfg, guard=g_ref)
+    fast = run_sisc_batched(problem, platform, cfg, guard=g_fast)
+    assert fast.meta["engine"] == "lockstep"
+    assert g_ref.events_seen == g_fast.events_seen
+    assert g_ref.checks_run == g_fast.checks_run
+    assert g_ref.stats() == g_fast.stats()
+    v_ref = g_ref.verify_halt()
+    v_fast = g_fast.verify_halt()
+    assert v_ref == v_fast
+    assert run_fingerprint(ref) == run_fingerprint(fast)
+
+
+def test_lockstep_falls_back_without_oracle_detection():
+    problem, platform = hard_problem(), hetero_platform()
+    cfg = SolverConfig(tolerance=1e-8, detection="token_ring")
+    ref = run_sisc(problem, platform, cfg)
+    fast = run_sisc_batched(problem, platform, cfg)
+    assert fast.meta.get("engine") != "lockstep"
+    assert run_fingerprint(ref) == run_fingerprint(fast)
+
+
+def test_lockstep_falls_back_with_stall_watchdog():
+    problem, platform = hard_problem(), hetero_platform()
+    cfg = SolverConfig(tolerance=1e-8)
+    guard = InvariantMonitor(GuardConfig(stall_horizon=50.0))
+    fast = run_sisc_batched(problem, platform, cfg, guard=guard)
+    assert fast.meta.get("engine") != "lockstep"
+    ref = run_sisc(problem, platform, cfg)
+    assert run_fingerprint(ref) == run_fingerprint(fast)
+
+
+# ----------------------------------------------------------------------
+# The rank-batched sweeper itself: one global vectorised sweep must
+# reproduce the per-rank scalar path bit for bit.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "blocks",
+    [
+        [(0, 16), (16, 32), (32, 48)],  # equal widths: reshape reduction
+        [(0, 7), (7, 19), (19, 48)],  # unequal: per-slice reduction
+        [(0, 48)],  # single rank
+    ],
+)
+def test_batched_sweeper_matches_scalar_iterate(blocks):
+    problem = hard_problem(48)
+    sweeper = problem.batched_chain_sweeper(blocks)
+    states = [problem.initial_state(lo, hi) for lo, hi in blocks]
+    last = len(blocks) - 1
+    for _ in range(12):
+        residual, work = sweeper.sweep()
+        # Jacobi round: gather all halos before any state mutates.
+        halos = [
+            (
+                problem.initial_halo(-1)
+                if r == 0
+                else np.array([states[r - 1].e[-1]]),
+                problem.initial_halo(problem.n_components)
+                if r == last
+                else np.array([states[r + 1].e[0]]),
+            )
+            for r in range(len(blocks))
+        ]
+        for r, (state, (left, right)) in enumerate(zip(states, halos)):
+            res = problem.iterate(state, left, right)
+            assert res.local_residual == residual[r]
+            assert res.total_work == work[r]
+        for r in range(len(blocks)):
+            assert np.array_equal(sweeper.solution_block(r), states[r].e)
+
+
+def test_run_fingerprint_ignores_engine_meta():
+    problem, platform, cfg = CASES["hetero"]
+    fast = run_sisc_batched(problem, platform, cfg)
+    fp = run_fingerprint(fast)
+    fast.meta["engine"] = "something-else"
+    fast.meta["events_dispatched"] = -1
+    assert run_fingerprint(fast) == fp
+    fast.meta["aborted_reason"] = "tampered"
+    assert run_fingerprint(fast) != fp

@@ -136,3 +136,59 @@ def test_run_observed_rejects_unknown_inputs():
         run_observed("nope")
     with pytest.raises(ValueError, match="unknown mode"):
         run_observed("figure5", mode="huge")
+
+
+def test_sidecar_scale_telemetry_header(tmp_path):
+    sidecar = MetricsSidecar()
+    # Without scheduler scrapes the header stays fully deterministic:
+    # no wall-side RSS headline, nothing machine-dependent.
+    assert sidecar.scale_telemetry() == {}
+
+    reg = sidecar.registry
+    reg.gauge("des.heap_size", run="a").set(5.0)
+    reg.gauge("des.heap_size", run="b").set(9.0)
+    reg.counter("des.batch_dispatch", run="a").add(3)
+    reg.counter("des.events_dispatched", run="a").add(100)
+    reg.counter("des.events_dispatched", run="b").add(50)
+    tele = sidecar.scale_telemetry()
+    assert tele["des.heap_size_peak"] == 9.0
+    assert tele["des.batch_dispatch"] == 3
+    assert tele["des.events_dispatched"] == 150
+
+    path = str(tmp_path / "m.metrics.jsonl")
+    sidecar.write(path, {"experiment": "x"})
+    header = json.loads(open(path).readline())
+    assert header["des.heap_size_peak"] == 9.0
+    assert header["experiment"] == "x"
+    assert header["peak_rss_bytes"] > 0
+
+
+def test_sidecar_collect_scheduler_scrapes_des_series():
+    from repro.core import SolverConfig
+    from repro.core.solver import build_chain
+    from repro.des import Barrier
+    from repro.grid import homogeneous_cluster
+    from repro.models.sisc import _sisc_process
+    from repro.problems import SyntheticProblem
+
+    import numpy as np
+
+    run = build_chain(
+        SyntheticProblem(np.full(12, 0.5)),
+        homogeneous_cluster(3),
+        SolverConfig(max_iterations=5),
+        model="sisc",
+    )
+    barrier = Barrier(run.n_ranks, name="sisc")
+    for ctx in run.ranks:
+        run.sim.spawn(f"sisc-rank-{ctx.rank}", _sisc_process(run, ctx, barrier))
+    run.run()
+
+    sidecar = MetricsSidecar()
+    sidecar.collect_scheduler(run.sim, run="smoke")
+    names = {r["name"] for r in sidecar.registry.snapshot()}
+    assert "des.heap_size" in names
+    assert "des.events_dispatched" in names
+    tele = sidecar.scale_telemetry()
+    assert tele["des.heap_size_peak"] > 0
+    assert tele["des.events_dispatched"] > 0

@@ -327,7 +327,7 @@ def test_compaction_keeps_order_and_bounds_heap():
     # Cancel most of them; the queue should compact itself.
     for e in events[:250]:
         e.cancel()
-    assert len(q._heap) < 100  # tombstones physically removed
+    assert q._size < 100  # tombstones physically removed
     assert len(q) == 50
     times = []
     while (e := q.pop()) is not None:

@@ -89,3 +89,30 @@ def test_trace_scenario_two_unequal_hosts():
     assert len(plat) == 2
     assert plat.hosts[0].speed != plat.hosts[1].speed
     assert sc.solver_config().trace
+
+
+def test_scale_scenario_tiles_components_exactly():
+    from repro.workloads import ScaleScenario
+
+    sc = ScaleScenario(n_ranks=32, components_per_rank=10)
+    assert sc.n_components == 320
+    prob = sc.problem()
+    assert prob.n_components == sc.n_components
+    plat = sc.platform()
+    assert len(plat) == 32
+    assert len({h.speed for h in plat.hosts}) == 1  # homogeneous
+    assert not sc.solver_config().trace  # span records are O(ranks x rounds)
+
+
+def test_scale_scenario_presets():
+    from repro.workloads import ScaleScenario
+
+    smoke, flagship = ScaleScenario.smoke(), ScaleScenario.flagship()
+    assert smoke.n_ranks < flagship.n_ranks
+    assert flagship.n_ranks == 1024
+    assert flagship.n_components >= 1_000_000
+
+
+def test_figure5_scale_preset_reaches_1024_ranks():
+    assert Figure5Scenario.scale().proc_counts[-1] == 1024
+    assert Figure5Scenario.scale().n_components > Figure5Scenario.quick().n_components
