@@ -13,6 +13,12 @@ Usage::
     python -m repro metrics figure5 [--tiny|--full] [--out PREFIX] [--profile]
     python -m repro trace figure5 [--tiny|--full] [--out PREFIX] [--profile]
     python -m repro solve --problem brusselator --ranks 4 --lb [--gantt]
+    python -m repro serve [--state-dir D] [--socket S] [--workers N]
+    python -m repro submit --kind figure5 --mode tiny [--wait] [--socket S]
+    python -m repro jobs [--tenant T] [--json]
+    python -m repro result JOB_ID [--follow]
+    python -m repro health [--json]
+    python -m repro audit-replay [--state-dir D] [--sample N]
     python -m repro list
 
 The experiment commands run the corresponding experiment of DESIGN.md §4
@@ -41,7 +47,10 @@ def _engine_for(args: argparse.Namespace):
     """Build the sweep engine a verb's ``--jobs``/``--cache`` flags ask for."""
     from repro.exec import RunCache, SweepEngine
 
-    cache = RunCache(args.cache_dir) if args.cache else None
+    max_bytes = None
+    if getattr(args, "cache_max_mb", None):
+        max_bytes = int(args.cache_max_mb * 1e6)
+    cache = RunCache(args.cache_dir, max_bytes=max_bytes) if args.cache else None
     return SweepEngine(jobs=args.jobs, cache=cache)
 
 
@@ -300,6 +309,144 @@ def _bench_compare(args: argparse.Namespace) -> str:
     return report
 
 
+_DEFAULT_SOCKET = ".repro-serve/serve.sock"
+
+
+def _serve_client(args: argparse.Namespace):
+    from repro.serve import ServeClient
+
+    return ServeClient(args.socket)
+
+
+def _serve(args: argparse.Namespace) -> str:
+    """``repro serve``: run the job-queue daemon in the foreground."""
+    from repro.serve import ServeConfig, ServeDaemon
+
+    config = ServeConfig(
+        state_dir=args.state_dir,
+        address=args.socket,
+        workers=args.workers,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb,
+        quota=args.quota,
+        job_timeout_s=args.job_timeout,
+        max_retries=args.max_retries,
+        retry_backoff_s=args.retry_backoff,
+        durable=not args.no_fsync,
+    )
+    daemon = ServeDaemon(config)
+    print(
+        f"repro serve: listening on {config.resolved_address()} "
+        f"(state: {config.state_dir}, workers: {config.workers}); Ctrl-C stops"
+    )
+    daemon.serve_forever()
+    return "repro serve: stopped"
+
+
+def _spec_from_args(args: argparse.Namespace) -> dict:
+    spec: dict = {"kind": args.kind}
+    if args.kind in ("figure5", "resilience"):
+        spec["mode"] = args.mode
+    elif args.kind == "soak":
+        spec["schedules"] = args.schedules
+        spec["seed"] = args.seed
+    elif args.kind == "sleep":
+        spec["seconds"] = args.seconds
+        spec["tasks"] = args.tasks
+    return spec
+
+
+def _submit(args: argparse.Namespace) -> str:
+    client = _serve_client(args)
+    job_id = client.submit(
+        _spec_from_args(args), tenant=args.tenant, priority=args.priority
+    )
+    if not args.wait:
+        return job_id
+    job = client.result(job_id, follow=True)
+    digest = (job.get("result") or {}).get("digest", "")
+    report = f"{job_id}  {job['state']}  {digest}"
+    if job["state"] != "done":
+        print(report)
+        raise SystemExit(f"job {job_id} finished {job['state']}: {job['error']}")
+    return report
+
+
+def _jobs(args: argparse.Namespace) -> str:
+    client = _serve_client(args)
+    jobs = client.jobs(tenant=args.tenant or None)
+    if args.json:
+        import json
+
+        return json.dumps(jobs, indent=2, sort_keys=True)
+    if not jobs:
+        return "no jobs"
+    lines = [f"{'JOB':<10} {'TENANT':<12} {'PRI':>3} {'STATE':<9} KIND"]
+    for job in jobs:
+        lines.append(
+            f"{job['job_id']:<10} {job['tenant']:<12} {job['priority']:>3} "
+            f"{job['state']:<9} {job['kind']}"
+        )
+    return "\n".join(lines)
+
+
+def _result(args: argparse.Namespace) -> str:
+    import json
+
+    client = _serve_client(args)
+    if not args.follow:
+        return json.dumps(client.result(args.job_id), indent=2, sort_keys=True)
+    for event in client.follow(args.job_id):
+        if event.get("event") == "result":
+            return json.dumps(event["job"], indent=2, sort_keys=True)
+        print(f"{args.job_id}: {event.get('state', '?')}")
+    raise SystemExit(f"stream for {args.job_id} ended without a result")
+
+
+def _health(args: argparse.Namespace) -> str:
+    import json
+
+    health = _serve_client(args).health()
+    if args.json:
+        return json.dumps(health, indent=2, sort_keys=True)
+    states = " ".join(f"{k}={v}" for k, v in health["states"].items())
+    report = (
+        f"ok: {health['ok']}\n"
+        f"address: {health['address']}\n"
+        f"uptime_s: {health['uptime_s']:.1f}\n"
+        f"queue_depth: {health['queue_depth']}\n"
+        f"states: {states}\n"
+        f"cache_hit_rate: {health['cache_hit_rate']:.3f}\n"
+        f"watchdog_kills: {health['watchdog_kills']}\n"
+        f"wal_seq: {health['wal_seq']}  audit_seq: {health['audit_seq']}"
+    )
+    if not health["ok"]:
+        print(report)
+        raise SystemExit("daemon reports unhealthy")
+    return report
+
+
+def _audit_replay(args: argparse.Namespace) -> str:
+    """Offline byte-verification of a served audit window (no daemon)."""
+    import os
+
+    from repro.serve import audit_replay
+
+    path = args.audit or os.path.join(args.state_dir, "audit.jsonl")
+    result = audit_replay(path, sample=args.sample, seed=args.seed)
+    report = result.report()
+    if not result.ok:
+        # Print before raising: a digest mismatch must exit non-zero for CI.
+        print(report)
+        raise SystemExit(
+            f"audit-replay failed: {len(result.mismatches)} of "
+            f"{len(result.rows)} replayed record(s) did not reproduce "
+            f"their served digest"
+        )
+    return report
+
+
 def _list(args: argparse.Namespace) -> str:
     return "\n".join(
         [
@@ -313,6 +460,12 @@ def _list(args: argparse.Namespace) -> str:
             "metrics      experiment run with a metrics sidecar (repro.obs)",
             "trace        experiment run exported as a Perfetto trace",
             "bench-compare  flag >threshold regressions between two BENCH_*.json",
+            "serve        persistent job-queue daemon over the sweep engine",
+            "submit       enqueue a job on a running serve daemon",
+            "jobs         list a serve daemon's jobs",
+            "result       fetch (or --follow) one job's state and result",
+            "health       /healthz-style daemon status; non-zero exit if unhealthy",
+            "audit-replay   offline byte-verification of a served audit window",
         ]
     )
 
@@ -337,6 +490,13 @@ def _add_engine_flags(cmd: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
         help=f"run-cache directory (default {DEFAULT_CACHE_DIR}/)",
+    )
+    cmd.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        help="cap the run cache at this size, evicting least-recently-used "
+        "entries (default: unbounded)",
     )
 
 
@@ -493,6 +653,160 @@ def build_parser() -> argparse.ArgumentParser:
         help="fractional slowdown that counts as a regression (default 0.10)",
     )
 
+    serve_cmd = sub.add_parser(
+        "serve", help="persistent job-queue daemon over the sweep engine"
+    )
+    serve_cmd.set_defaults(handler=_serve)
+    serve_cmd.add_argument(
+        "--state-dir",
+        default=".repro-serve",
+        help="WAL + audit log + cache + artifacts directory (default .repro-serve/)",
+    )
+    serve_cmd.add_argument(
+        "--socket",
+        default="",
+        help="unix-socket path or tcp:HOST:PORT (default STATE_DIR/serve.sock)",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes of the persistent sweep engine (default 2)",
+    )
+    serve_cmd.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve repeated specs from the run cache (--no-cache disables)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default="",
+        help="run-cache directory (default STATE_DIR/cache)",
+    )
+    serve_cmd.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        help="cap the run cache, evicting least-recently-used entries",
+    )
+    serve_cmd.add_argument(
+        "--quota",
+        type=int,
+        default=16,
+        help="per-tenant cap on outstanding (queued + running) jobs",
+    )
+    serve_cmd.add_argument(
+        "--job-timeout",
+        type=float,
+        default=600.0,
+        help="stall watchdog: kill + requeue jobs running longer than this (s)",
+    )
+    serve_cmd.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="watchdog/cancel requeues before a job is declared killed",
+    )
+    serve_cmd.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=1.0,
+        help="base of the exponential requeue backoff (s)",
+    )
+    serve_cmd.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on WAL/audit appends (faster, weaker durability)",
+    )
+
+    submit_cmd = sub.add_parser(
+        "submit", help="enqueue a job on a running serve daemon"
+    )
+    submit_cmd.set_defaults(handler=_submit)
+    submit_cmd.add_argument(
+        "--kind",
+        required=True,
+        choices=("figure5", "resilience", "soak", "sleep"),
+        help="which workload to enqueue",
+    )
+    submit_cmd.add_argument(
+        "--mode",
+        default="tiny",
+        choices=("tiny", "quick", "full"),
+        help="scenario preset for figure5/resilience (default tiny)",
+    )
+    submit_cmd.add_argument(
+        "--schedules", type=int, default=5, help="soak: random schedules"
+    )
+    submit_cmd.add_argument("--seed", type=int, default=0, help="soak seed")
+    submit_cmd.add_argument(
+        "--seconds", type=float, default=0.1, help="sleep: seconds per task"
+    )
+    submit_cmd.add_argument(
+        "--tasks", type=int, default=1, help="sleep: number of tasks"
+    )
+    submit_cmd.add_argument("--tenant", default="default")
+    submit_cmd.add_argument(
+        "--priority", type=int, default=0, help="higher runs first"
+    )
+    submit_cmd.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job is terminal; non-zero exit unless done",
+    )
+    submit_cmd.add_argument("--socket", default=_DEFAULT_SOCKET)
+
+    jobs_cmd = sub.add_parser("jobs", help="list a serve daemon's jobs")
+    jobs_cmd.set_defaults(handler=_jobs)
+    jobs_cmd.add_argument("--tenant", default="", help="filter to one tenant")
+    jobs_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    jobs_cmd.add_argument("--socket", default=_DEFAULT_SOCKET)
+
+    result_cmd = sub.add_parser(
+        "result", help="fetch (or --follow) one job's state and result"
+    )
+    result_cmd.set_defaults(handler=_result)
+    result_cmd.add_argument("job_id")
+    result_cmd.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream state transitions until the job is terminal",
+    )
+    result_cmd.add_argument("--socket", default=_DEFAULT_SOCKET)
+
+    health_cmd = sub.add_parser(
+        "health", help="daemon status; non-zero exit if unhealthy"
+    )
+    health_cmd.set_defaults(handler=_health)
+    health_cmd.add_argument(
+        "--json", action="store_true", help="full health document as JSON"
+    )
+    health_cmd.add_argument("--socket", default=_DEFAULT_SOCKET)
+
+    audit_cmd = sub.add_parser(
+        "audit-replay",
+        help="re-run a sample of served jobs offline and byte-verify digests",
+    )
+    audit_cmd.set_defaults(handler=_audit_replay)
+    audit_cmd.add_argument(
+        "--state-dir",
+        default=".repro-serve",
+        help="serve state directory holding audit.jsonl",
+    )
+    audit_cmd.add_argument(
+        "--audit", default="", help="explicit audit log path (overrides --state-dir)"
+    )
+    audit_cmd.add_argument(
+        "--sample",
+        type=int,
+        default=5,
+        help="done-records to replay (seeded sample; default 5)",
+    )
+    audit_cmd.add_argument("--seed", type=int, default=0)
+
     solve_cmd = sub.add_parser("solve", help="run a one-off custom solve")
     solve_cmd.set_defaults(handler=_solve)
     solve_cmd.add_argument(
@@ -530,9 +844,15 @@ def main(argv: list[str] | None = None) -> int:
     handler: Callable[[argparse.Namespace], str] = args.handler
     start = time.perf_counter()
     report = handler(args)
-    print(report)
-    if args.command not in ("list",):
-        print(f"\n[{args.command} completed in {time.perf_counter() - start:.1f}s]")
+    try:
+        print(report)
+        if args.command not in ("list",):
+            print(
+                f"\n[{args.command} completed in "
+                f"{time.perf_counter() - start:.1f}s]"
+            )
+    except BrokenPipeError:  # e.g. ``repro result ... | head``
+        return 0
     return 0
 
 

@@ -18,6 +18,7 @@ from repro.exec.cache import (
 )
 from repro.exec.engine import (
     EngineStats,
+    SweepCancelled,
     SweepEngine,
     Task,
     default_jobs,
@@ -30,6 +31,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "EngineStats",
     "RunCache",
+    "SweepCancelled",
     "SweepEngine",
     "Task",
     "code_salt",

@@ -39,6 +39,24 @@ recomputes and overwrites the entry.  Writes go through a temp file +
 :func:`os.replace`, so a crashed writer never leaves a half-written
 entry under the final name; write errors (read-only filesystem, full
 disk) are swallowed because the cache is strictly an accelerator.
+Several processes may share one cache root: concurrent writers of the
+same digest race benignly (both write valid, identical-payload
+envelopes; ``os.replace`` is atomic, so readers see one or the other,
+never a mix) — the interleaving contract
+``tests/test_exec_cache_concurrent.py`` pins.
+
+Eviction
+--------
+A long-running daemon (``repro serve``) puts entries forever, so the
+cache can optionally cap its on-disk footprint: construct with
+``max_bytes`` (CLI: ``--cache-max-mb``) and every :meth:`put` that
+pushes the estimated total over the cap evicts least-recently-*used*
+entries (file mtime order; :meth:`get` hits refresh an entry's mtime)
+until the total fits again.  Eviction is best-effort and tolerant of
+concurrent writers/evictors: a file that disappears mid-scan is simply
+skipped.  ``evictions`` / ``evicted_bytes`` counters are scraped into
+:class:`~repro.exec.engine.EngineStats` and exported through
+``EngineStats.export_metrics``.
 """
 
 from __future__ import annotations
@@ -97,12 +115,31 @@ class RunCache:
     invalidation and corruption semantics.
     """
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR, *, salt: str | None = None) -> None:
+    def __init__(
+        self,
+        root: str = DEFAULT_CACHE_DIR,
+        *,
+        salt: str | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.root = root
         self.salt = salt if salt is not None else code_salt()
+        self.max_bytes = max_bytes
+        #: Lifetime eviction counters (scraped into ``EngineStats``).
+        self.evictions = 0
+        self.evicted_bytes = 0
+        #: Running estimate of the cache footprint, refreshed by a full
+        #: scan whenever it crosses ``max_bytes`` (concurrent writers
+        #: make any cheap estimate stale; the scan is the truth).
+        self._approx_bytes: int | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RunCache(root={self.root!r}, salt={self.salt!r})"
+        return (
+            f"RunCache(root={self.root!r}, salt={self.salt!r}, "
+            f"max_bytes={self.max_bytes!r})"
+        )
 
     # ------------------------------------------------------------------
     def digest_for(self, key: Any) -> str:
@@ -120,8 +157,9 @@ class RunCache:
         digest mismatch) returns ``(False, None)`` — the caller
         recomputes and the next :meth:`put` overwrites the bad entry.
         """
+        path = self.path_for(digest)
         try:
-            with open(self.path_for(digest), "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 envelope = json.load(fh)
             if envelope["schema"] != CACHE_SCHEMA:
                 return False, None
@@ -130,6 +168,13 @@ class RunCache:
             payload = envelope["payload"]
         except (OSError, ValueError, KeyError, TypeError):
             return False, None
+        if self.max_bytes is not None:
+            # Refresh recency so LRU eviction spares hot entries.  Best
+            # effort: a concurrent evictor may have removed the file.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         return True, payload
 
     def put(self, digest: str, key: Any, payload: Any) -> None:
@@ -153,3 +198,71 @@ class RunCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        if self.max_bytes is not None:
+            self._account_put(path)
+
+    # ------------------------------------------------------------------
+    # Size-capped LRU eviction
+    # ------------------------------------------------------------------
+    def _scan(self) -> list[tuple[float, int, str]]:
+        """All entry files as ``(mtime, size, path)``; tolerant of races."""
+        entries: list[tuple[float, int, str]] = []
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return entries
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue  # leave foreign files and .tmp writers alone
+                path = os.path.join(shard_dir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue  # concurrently evicted/replaced
+                entries.append((st.st_mtime, st.st_size, path))
+        return entries
+
+    def _account_put(self, path: str) -> None:
+        """Fold one written entry into the footprint estimate; evict if over."""
+        try:
+            size = os.stat(path).st_size
+        except OSError:
+            size = 0
+        if self._approx_bytes is None:
+            self._approx_bytes = sum(s for _, s, _ in self._scan())
+        else:
+            self._approx_bytes += size
+        if self._approx_bytes > (self.max_bytes or 0):
+            self._evict(keep=path)
+
+    def _evict(self, *, keep: str | None = None) -> None:
+        """Remove least-recently-used entries until under ``max_bytes``.
+
+        ``keep`` (the entry just written) is never evicted — a cap
+        smaller than one entry must still serve that entry.  Missing
+        files are skipped: concurrent writers and evictors race
+        benignly.
+        """
+        assert self.max_bytes is not None
+        entries = sorted(self._scan())  # oldest mtime first
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and os.path.abspath(path) == os.path.abspath(keep):
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+            self.evicted_bytes += size
+        self._approx_bytes = total

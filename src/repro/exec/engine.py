@@ -36,7 +36,9 @@ task function itself catches and encodes failures in its payload, as
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
@@ -44,7 +46,26 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.analysis.perf import canonical_json
 from repro.exec.cache import RunCache
 
-__all__ = ["EngineStats", "SweepEngine", "Task", "default_jobs", "normalise_payload"]
+__all__ = [
+    "EngineStats",
+    "SweepCancelled",
+    "SweepEngine",
+    "Task",
+    "default_jobs",
+    "normalise_payload",
+]
+
+
+class SweepCancelled(RuntimeError):
+    """An in-flight :meth:`SweepEngine.map` was cancelled.
+
+    Raised on the mapping thread after :meth:`SweepEngine.cancel` (the
+    serve daemon's stall watchdog and kill verb).  The pooled path
+    terminates its workers mid-task; the serial path can only observe
+    the flag *between* tasks (an in-process simulation is
+    uninterruptible).  Either way the engine is reusable afterwards —
+    the next :meth:`~SweepEngine.map` starts a fresh pool.
+    """
 
 
 def default_jobs() -> int:
@@ -98,6 +119,14 @@ class EngineStats:
     tasks: int = 0
     hits: int = 0
     misses: int = 0
+    #: Pool lifecycle: how many times :meth:`SweepEngine.map` found a
+    #: live pool to reuse vs had to start one — the serve daemon's hot
+    #: path wants reuse ≫ starts.
+    pool_starts: int = 0
+    pool_reuse: int = 0
+    #: Cache eviction counters (scraped from the engine's ``RunCache``).
+    evictions: int = 0
+    evicted_bytes: int = 0
     wall_s: float = 0.0
     #: Per-worker busy seconds, keyed by worker name ("serial" for the
     #: in-process path, "worker-{pid}" for pool workers).
@@ -120,6 +149,9 @@ class EngineStats:
             "tasks": self.tasks,
             "cache_hits": self.hits,
             "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "pool_starts": self.pool_starts,
+            "pool_reuse": self.pool_reuse,
         }
         if timing:
             data["wall_s"] = self.wall_s
@@ -138,6 +170,12 @@ class EngineStats:
         registry.counter("exec.tasks", run=run).inc(self.tasks)
         registry.counter("exec.cache_hits", run=run).inc(self.hits)
         registry.counter("exec.cache_misses", run=run).inc(self.misses)
+        registry.counter("exec.cache_evictions", run=run).inc(self.evictions)
+        registry.counter("exec.cache_evicted_bytes", run=run).inc(
+            self.evicted_bytes
+        )
+        registry.counter("exec.pool_starts", run=run).inc(self.pool_starts)
+        registry.counter("exec.pool_reuse", run=run).inc(self.pool_reuse)
         registry.gauge("exec.jobs", run=run).set(self.jobs)
         registry.gauge("exec.wall_s", run=run).set(self.wall_s)
         for worker, busy in sorted(self.busy_s.items()):
@@ -170,13 +208,21 @@ def _invoke(item: tuple[Callable[..., Any], tuple, dict]) -> tuple[str, float, A
 class SweepEngine:
     """Fans independent tasks over a process pool; merges deterministically.
 
+    The pool is **persistent**: the first pooled :meth:`map` starts it
+    and successive calls reuse it (``EngineStats.pool_reuse``), so a
+    long-running daemon submitting many small sweeps does not pay pool
+    setup per sweep.  :meth:`close` (or the context-manager exit) tears
+    it down; :meth:`maybe_reap` implements idle teardown for a janitor
+    thread; :meth:`cancel` aborts an in-flight map (terminating the
+    pool, which the next map transparently restarts).
+
     Parameters
     ----------
     jobs:
         Worker processes.  ``1`` (the default) runs every task in
         process — the serial fallback path, also taken whenever fewer
-        than two tasks actually need computing or the platform cannot
-        provide a pool.
+        than ``min_pool_tasks`` tasks actually need computing or the
+        platform cannot provide a pool.
     cache:
         Optional :class:`~repro.exec.cache.RunCache`.  Tasks with a
         ``key`` are looked up before any work is scheduled and stored
@@ -185,6 +231,11 @@ class SweepEngine:
         ``multiprocessing`` start method; default prefers ``fork``
         (instant workers sharing the parent's imports) and falls back
         to the platform default elsewhere.
+    min_pool_tasks:
+        Smallest pending-task count routed through the pool.  The
+        default (2) keeps single-task sweeps in process; the serve
+        daemon passes 1 so even a one-task job runs in a worker and is
+        therefore killable by the stall watchdog.
     """
 
     def __init__(
@@ -193,21 +244,121 @@ class SweepEngine:
         jobs: int = 1,
         cache: RunCache | None = None,
         start_method: str | None = None,
+        min_pool_tasks: int = 2,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if min_pool_tasks < 1:
+            raise ValueError(
+                f"min_pool_tasks must be >= 1, got {min_pool_tasks}"
+            )
         self.jobs = jobs
         self.cache = cache
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
+        self.min_pool_tasks = min_pool_tasks
         self.stats = EngineStats(jobs=jobs)
+        self._pool: multiprocessing.pool.Pool | None = None
+        #: Serialises pool create/teardown against the busy flag, so a
+        #: janitor thread reaping an idle pool can never race a map()
+        #: that is just acquiring it.
+        self._pool_lock = threading.Lock()
+        self._cancel = threading.Event()
+        self._busy = False
+        self.last_used = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        with self._pool_lock:
+            if self._pool is not None:
+                self.stats.pool_reuse += 1
+                return self._pool
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(processes=self.jobs)
+            self.stats.pool_starts += 1
+            return self._pool
+
+    def _teardown_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def close(self) -> None:
+        """Tear the persistent pool down (idempotent)."""
+        self._teardown_pool()
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def cancel(self) -> None:
+        """Ask the in-flight (or next) :meth:`map` to abort with
+        :class:`SweepCancelled`.
+
+        Safe to call from another thread.  The flag is **sticky**: it
+        stays set until :meth:`reset_cancel`, so a cancel landing
+        between two maps of a multi-sweep workload still aborts the
+        workload at its next map.  Owners that recycle an engine across
+        independent workloads (the serve daemon) call
+        :meth:`reset_cancel` before starting the next one.
+        """
+        self._cancel.set()
+
+    def reset_cancel(self) -> None:
+        """Re-arm after a handled :class:`SweepCancelled`."""
+        self._cancel.clear()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    def maybe_reap(self, idle_s: float) -> bool:
+        """Tear the pool down if it has sat idle for ``idle_s`` seconds.
+
+        Returns whether a pool was reaped.  Never touches a pool with a
+        map in flight — callers poll this from a janitor thread.
+        """
+        with self._pool_lock:
+            if (
+                self._pool is None
+                or self._busy
+                or time.monotonic() - self.last_used < idle_s
+            ):
+                return False
+            pool, self._pool = self._pool, None
+        pool.terminate()
+        pool.join()
+        return True
 
     # ------------------------------------------------------------------
     def map(self, tasks: Sequence[Task]) -> list[Any]:
         """Run ``tasks``; return payloads in submission order."""
         t0 = time.perf_counter()
+        with self._pool_lock:
+            self._busy = True
+        try:
+            if self._cancel.is_set():
+                raise SweepCancelled("sweep cancelled before any task ran")
+            results = self._map_inner(tasks)
+        finally:
+            with self._pool_lock:
+                self._busy = False
+            self.last_used = time.monotonic()
+            if self.cache is not None:
+                self.stats.evictions = self.cache.evictions
+                self.stats.evicted_bytes = self.cache.evicted_bytes
+            self.stats.wall_s += time.perf_counter() - t0
+        return results
+
+    def _map_inner(self, tasks: Sequence[Task]) -> list[Any]:
         results: list[Any] = [None] * len(tasks)
         pending: list[tuple[int, Task, str | None]] = []
         for index, task in enumerate(tasks):
@@ -224,7 +375,7 @@ class SweepEngine:
             pending.append((index, task, digest))
 
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
+            if self.jobs > 1 and len(pending) >= self.min_pool_tasks:
                 computed = self._map_pool(pending)
             else:
                 computed = self._map_serial(pending)
@@ -232,8 +383,6 @@ class SweepEngine:
                 if self.cache is not None and digest is not None:
                     self.cache.put(digest, task.key, payload)
                 results[index] = payload
-
-        self.stats.wall_s += time.perf_counter() - t0
         return results
 
     def export_metrics(self, registry: Any, *, run: str = "") -> None:
@@ -243,6 +392,11 @@ class SweepEngine:
     def _map_serial(self, pending: list[tuple[int, Task, str | None]]) -> list[Any]:
         payloads = []
         for _, task, _ in pending:
+            if self._cancel.is_set():
+                raise SweepCancelled(
+                    f"sweep cancelled after {len(payloads)} of "
+                    f"{len(pending)} pending task(s)"
+                )
             t0 = time.perf_counter()
             payloads.append(
                 normalise_payload(task.fn(*task.args, **dict(task.kwargs)))
@@ -253,15 +407,24 @@ class SweepEngine:
     def _map_pool(self, pending: list[tuple[int, Task, str | None]]) -> list[Any]:
         items = [(task.fn, task.args, dict(task.kwargs)) for _, task, _ in pending]
         try:
-            context = multiprocessing.get_context(self.start_method)
-            pool = context.Pool(processes=min(self.jobs, len(items)))
+            pool = self._ensure_pool()
         except (OSError, ValueError):  # pragma: no cover - pool unavailable
             return self._map_serial(pending)
-        with pool:
-            # chunksize=1: sweep tasks are seconds-long simulations, so
-            # scheduling overhead is negligible and per-task dispatch
-            # keeps the slowest-run tail from serialising behind a chunk.
-            stamped = pool.map(_invoke, items, chunksize=1)
+        # map_async + polling get() keeps the mapping thread responsive
+        # to cancel(): a plain pool.map would block unkillably, and a
+        # terminated pool can leave its MapResult unfinished forever.
+        async_result = pool.map_async(_invoke, items, chunksize=1)
+        while True:
+            try:
+                stamped = async_result.get(timeout=0.05)
+                break
+            except multiprocessing.TimeoutError:
+                if self._cancel.is_set():
+                    self._teardown_pool()
+                    raise SweepCancelled(
+                        f"sweep cancelled with {len(items)} task(s) in "
+                        f"flight; pool terminated"
+                    ) from None
         payloads = []
         for worker, busy, payload in stamped:
             self.stats.record_busy(worker, busy)

@@ -1,0 +1,63 @@
+"""repro.serve — persistent job-queue service over the sweep engine.
+
+Turns the one-shot sweep CLI into a long-lived daemon (``repro
+serve``): a durable job queue (append-only JSONL WAL with
+crash-recovery replay), priority + fair-share scheduling across a
+persistent :class:`~repro.exec.SweepEngine` worker pool, per-tenant
+quotas, streaming result delivery over a unix-socket JSON-lines
+protocol (``repro submit`` / ``jobs`` / ``result --follow``), and an
+append-only audit log of ``config digest → result digest`` that makes
+every served workload byte-replayable offline (``repro audit-replay``).
+The guard layer's role here is health: admission gates, a stall
+watchdog with kill + requeue-with-backoff, and a ``/healthz``-style
+status verb.  See ``docs/serving.md``.
+"""
+
+from repro.serve.audit import (
+    AUDIT_SCHEMA,
+    AuditLog,
+    AuditReplayReport,
+    audit_replay,
+    read_audit,
+)
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.jobs import Job, JobTable, QuotaError, STATES, TERMINAL_STATES
+from repro.serve.protocol import PROTOCOL_SCHEMA, ServeClient, ServeError
+from repro.serve.scheduler import FairShareScheduler
+from repro.serve.spec import (
+    AdmissionError,
+    KINDS,
+    config_digest,
+    execute_spec,
+    validate_spec,
+)
+from repro.serve.wal import WAL_SCHEMA, JobWAL, WALError, fold, replay
+
+__all__ = [
+    "AUDIT_SCHEMA",
+    "AdmissionError",
+    "AuditLog",
+    "AuditReplayReport",
+    "FairShareScheduler",
+    "Job",
+    "JobTable",
+    "JobWAL",
+    "KINDS",
+    "PROTOCOL_SCHEMA",
+    "QuotaError",
+    "STATES",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "TERMINAL_STATES",
+    "WALError",
+    "WAL_SCHEMA",
+    "audit_replay",
+    "config_digest",
+    "execute_spec",
+    "fold",
+    "read_audit",
+    "replay",
+    "validate_spec",
+]

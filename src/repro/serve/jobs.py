@@ -1,0 +1,182 @@
+"""Job lifecycle: states, records, per-tenant quotas and usage accounting.
+
+The serve daemon's unit of work is a **job** — one whole sweep
+(figure5 / resilience / soak / sleep spec), which the executor expands
+into engine tasks over the persistent worker pool.  A job moves
+through::
+
+    queued ──► running ──► done
+       ▲          │ ├────► failed   (task raised / retries exhausted)
+       │          │ └────► killed   (operator kill verb)
+       └──────────┘         (stall-watchdog kill + requeue w/ backoff)
+
+Every transition is WAL-logged by the daemon before it is acknowledged;
+this module only holds the in-memory table the WAL folds back into.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = ["Job", "JobTable", "QuotaError", "STATES", "TERMINAL_STATES"]
+
+STATES = ("queued", "running", "done", "failed", "killed")
+TERMINAL_STATES = ("done", "failed", "killed")
+
+
+class QuotaError(RuntimeError):
+    """A tenant exceeded its outstanding-job quota (admission rejection)."""
+
+
+@dataclass
+class Job:
+    """One submitted job; the WAL's ``submit`` record mirrors this."""
+
+    job_id: str
+    tenant: str
+    priority: int
+    spec: dict[str, Any]
+    max_retries: int
+    submitted_seq: int
+    state: str = "queued"
+    attempts: int = 0
+    #: Wall-clock gate: a requeued job is not eligible before this time
+    #: (stall-watchdog backoff).  0.0 = immediately eligible.
+    not_before: float = 0.0
+    result: dict[str, Any] | None = None
+    error: str = ""
+    #: Operator kill requested while running (distinguishes the kill
+    #: verb from a watchdog stall kill, which requeues instead).
+    kill_requested: bool = field(default=False, repr=False)
+    #: Wall-clock bookkeeping (never digest material).
+    submitted_at: float = field(default=0.0, repr=False)
+    started_at: float = field(default=0.0, repr=False)
+    finished_at: float = field(default=0.0, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_record(self) -> dict[str, Any]:
+        """The WAL ``submit`` payload: everything recovery needs."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "spec": self.spec,
+            "max_retries": self.max_retries,
+            "submitted_seq": self.submitted_seq,
+            "state": self.state,
+            "attempts": self.attempts,
+            "not_before": self.not_before,
+        }
+
+    def summary(self) -> dict[str, Any]:
+        """The ``repro jobs`` row (no result payload)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "kind": self.spec.get("kind", "?"),
+            "priority": self.priority,
+            "state": self.state,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Job":
+        return cls(
+            job_id=record["job_id"],
+            tenant=record["tenant"],
+            priority=int(record["priority"]),
+            spec=dict(record["spec"]),
+            max_retries=int(record["max_retries"]),
+            submitted_seq=int(record["submitted_seq"]),
+            state=record.get("state", "queued"),
+            attempts=int(record.get("attempts", 0)),
+            not_before=float(record.get("not_before", 0.0)),
+            result=record.get("result"),
+            error=record.get("error", "") or "",
+        )
+
+
+class JobTable:
+    """All jobs the daemon knows about, plus tenant quota/usage state.
+
+    Thread-unsafe on purpose: the daemon guards it with one lock (the
+    same lock that serialises WAL appends, so table and log cannot
+    disagree about ordering).
+    """
+
+    def __init__(self, *, quota: int = 16) -> None:
+        if quota < 1:
+            raise ValueError(f"quota must be >= 1, got {quota}")
+        self.quota = quota
+        self.jobs: dict[str, Job] = {}
+        #: Fair-share accounting: accumulated execution seconds per
+        #: tenant (wall-clock; scheduling input, never digest material).
+        self.usage_s: dict[str, float] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def new_job_id(self) -> str:
+        job_id = f"j{self._next_id:06d}"
+        self._next_id += 1
+        return job_id
+
+    def outstanding(self, tenant: str) -> int:
+        return sum(
+            1
+            for job in self.jobs.values()
+            if job.tenant == tenant and not job.terminal
+        )
+
+    def admit(self, job: Job) -> None:
+        """Quota admission gate + insertion (raises, never partial)."""
+        if self.outstanding(job.tenant) >= self.quota:
+            raise QuotaError(
+                f"tenant {job.tenant!r} has {self.outstanding(job.tenant)} "
+                f"outstanding job(s); quota is {self.quota}"
+            )
+        if job.job_id in self.jobs:
+            raise ValueError(f"duplicate job id {job.job_id!r}")
+        job.submitted_at = time.time()
+        self.jobs[job.job_id] = job
+
+    # ------------------------------------------------------------------
+    def queued(self) -> Iterable[Job]:
+        return (j for j in self.jobs.values() if j.state == "queued")
+
+    def running(self) -> list[Job]:
+        return [j for j in self.jobs.values() if j.state == "running"]
+
+    def counts(self) -> dict[str, int]:
+        counts = {state: 0 for state in STATES}
+        for job in self.jobs.values():
+            counts[job.state] += 1
+        return counts
+
+    def charge(self, tenant: str, seconds: float) -> None:
+        self.usage_s[tenant] = self.usage_s.get(tenant, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    def restore(self, records: Mapping[str, Mapping[str, Any]]) -> list[Job]:
+        """Load folded WAL records; returns jobs needing a requeue.
+
+        Jobs that were ``running`` (or already ``queued``) at the crash
+        come back as recovery candidates; terminal jobs are restored
+        as-is so their results keep being served.  The id counter
+        resumes past the highest restored id.
+        """
+        to_requeue: list[Job] = []
+        for record in records.values():
+            job = Job.from_record(record)
+            self.jobs[job.job_id] = job
+            self._next_id = max(self._next_id, int(job.job_id[1:]) + 1)
+            if job.state == "running":
+                to_requeue.append(job)
+            elif job.state == "queued":
+                to_requeue.append(job)
+        return sorted(to_requeue, key=lambda j: j.submitted_seq)

@@ -1,0 +1,69 @@
+"""Priority + fair-share job scheduling.
+
+The daemon runs one job at a time through the persistent
+:class:`~repro.exec.SweepEngine` (each job is itself a parallel sweep,
+so intra-job tasks already saturate the worker pool); what the
+scheduler decides is **which queued job goes next**:
+
+1. higher ``priority`` strictly first (an integer class, default 0 —
+   operators reserve positive classes for interactive traffic);
+2. within a class, the tenant with the least accumulated execution
+   seconds (``JobTable.usage_s``) — classic fair share, so a tenant
+   dumping 100 soak jobs cannot starve a tenant submitting its first
+   figure5;
+3. ties broken by submission order (``submitted_seq``), which makes the
+   decision fully deterministic given the same table state.
+
+Jobs whose ``not_before`` lies in the future (stall-watchdog backoff)
+are ineligible until the clock passes the gate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.serve.jobs import Job
+
+__all__ = ["FairShareScheduler"]
+
+
+class FairShareScheduler:
+    """Stateless picker over the job table (state lives in the table)."""
+
+    def pick(
+        self,
+        queued: Iterable[Job],
+        usage_s: Mapping[str, float],
+        now: float,
+    ) -> Job | None:
+        """The next job to run, or ``None`` when nothing is eligible."""
+        eligible = [job for job in queued if job.not_before <= now]
+        if not eligible:
+            return None
+        return min(
+            eligible,
+            key=lambda job: (
+                -job.priority,
+                usage_s.get(job.tenant, 0.0),
+                job.submitted_seq,
+            ),
+        )
+
+    @staticmethod
+    def fairness(usage_s: Mapping[str, float]) -> dict[str, Any]:
+        """Operator-facing fairness snapshot: share per tenant.
+
+        ``max_over_min`` is the headline imbalance figure (1.0 =
+        perfectly fair among tenants that ran anything).
+        """
+        served = {t: s for t, s in usage_s.items() if s > 0.0}
+        total = sum(served.values())
+        shares = {
+            tenant: seconds / total for tenant, seconds in sorted(served.items())
+        } if total > 0 else {}
+        ratio = (
+            max(served.values()) / min(served.values())
+            if len(served) >= 2
+            else 1.0
+        )
+        return {"shares": shares, "max_over_min": ratio}

@@ -113,3 +113,84 @@ def test_solve_command_gantt(capsys):
 def test_solve_rejects_unknown_problem():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["solve", "--problem", "navier-stokes"])
+
+
+# ----------------------------------------------------------------------
+# Serve verbs
+# ----------------------------------------------------------------------
+def test_list_mentions_serve_verbs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for verb in ("serve", "submit", "jobs", "result", "health", "audit-replay"):
+        assert verb in out
+
+
+def test_serve_verbs_parse():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--state-dir", "st", "--workers", "3", "--job-timeout", "5",
+         "--cache-max-mb", "10", "--no-fsync"]
+    )
+    assert args.state_dir == "st" and args.workers == 3
+    assert args.cache_max_mb == 10.0 and args.no_fsync
+
+    args = parser.parse_args(
+        ["submit", "--kind", "soak", "--schedules", "3", "--seed", "7",
+         "--tenant", "alice", "--priority", "2", "--wait"]
+    )
+    assert args.kind == "soak" and args.schedules == 3 and args.wait
+
+    args = parser.parse_args(["result", "j000001", "--follow"])
+    assert args.job_id == "j000001" and args.follow
+
+    with pytest.raises(SystemExit):
+        parser.parse_args(["submit", "--kind", "warp-drive"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["submit"])  # --kind is required
+
+
+def test_engine_flags_accept_cache_cap():
+    args = build_parser().parse_args(["figure5", "--cache-max-mb", "64"])
+    assert args.cache_max_mb == 64.0
+
+    from repro.cli import _engine_for
+
+    engine = _engine_for(args)
+    assert engine.cache.max_bytes == 64_000_000
+
+
+def test_audit_replay_command_offline(capsys, tmp_path):
+    from repro.serve import AuditLog, config_digest, execute_spec
+
+    spec = {"kind": "sleep", "seconds": 0.0, "tasks": 1}
+    log = AuditLog(str(tmp_path / "audit.jsonl"), durable=False)
+    log.append(
+        job_id="j000001",
+        tenant="t",
+        spec=spec,
+        config_digest=config_digest(spec),
+        result_digest=execute_spec(spec)["digest"],
+        state="done",
+    )
+    log.close()
+    assert main(["audit-replay", "--state-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 mismatch(es)" in out
+
+
+def test_audit_replay_command_flags_mismatch(capsys, tmp_path):
+    from repro.serve import AuditLog, config_digest
+
+    spec = {"kind": "sleep", "seconds": 0.0, "tasks": 1}
+    log = AuditLog(str(tmp_path / "audit.jsonl"), durable=False)
+    log.append(
+        job_id="j000001",
+        tenant="t",
+        spec=spec,
+        config_digest=config_digest(spec),
+        result_digest="0" * 64,  # a served digest that cannot reproduce
+        state="done",
+    )
+    log.close()
+    with pytest.raises(SystemExit, match="audit-replay failed"):
+        main(["audit-replay", "--audit", str(tmp_path / "audit.jsonl")])

@@ -168,6 +168,80 @@ def test_engine_recomputes_and_repairs_corrupt_entry(tmp_path):
     assert warm.stats.hits == 2 and warm.stats.misses == 0
 
 
+# ----------------------------------------------------------------------
+# Size-capped LRU eviction
+# ----------------------------------------------------------------------
+def put_sized(cache, name, mtime=None, pad=100):
+    """Put one ~pad-byte entry; optionally pin its mtime for LRU order."""
+    digest = cache.digest_for(name)
+    cache.put(digest, name, {"pad": "x" * pad})
+    if mtime is not None:
+        os.utime(cache.path_for(digest), (mtime, mtime))
+    return digest
+
+
+def test_max_bytes_must_be_positive(tmp_path):
+    import pytest
+
+    with pytest.raises(ValueError, match="max_bytes"):
+        RunCache(str(tmp_path), max_bytes=0)
+
+
+def entry_size_for(tmp_path):
+    """On-disk bytes of one ``put_sized`` envelope with a 3-char key."""
+    probe = RunCache(str(tmp_path / "probe"))
+    return os.path.getsize(probe.path_for(put_sized(probe, "prb")))
+
+
+def test_eviction_removes_oldest_entries_first(tmp_path):
+    entry_size = entry_size_for(tmp_path)
+    cache = RunCache(str(tmp_path / "c"), max_bytes=2 * entry_size)
+    old = put_sized(cache, "old", mtime=100)
+    mid = put_sized(cache, "mid", mtime=200)
+    new = put_sized(cache, "new")  # now over the 2-entry cap
+    assert cache.get(old) == (False, None)  # oldest went first
+    assert cache.get(mid)[0] and cache.get(new)[0]
+    assert cache.evictions == 1
+    assert cache.evicted_bytes == entry_size
+
+
+def test_get_refreshes_recency_so_hot_entries_survive(tmp_path):
+    entry_size = entry_size_for(tmp_path)
+    cache = RunCache(str(tmp_path / "c"), max_bytes=2 * entry_size)
+    # Keys all 3 chars so every envelope is exactly entry_size bytes.
+    hot = put_sized(cache, "hot", mtime=100)
+    cold = put_sized(cache, "cld", mtime=200)
+    assert cache.get(hot)[0]  # refreshes hot's mtime past cold's
+    put_sized(cache, "new")
+    assert cache.get(cold) == (False, None)
+    assert cache.get(hot)[0]
+
+
+def test_just_written_entry_is_never_evicted(tmp_path):
+    # A cap smaller than one entry must still serve that entry.
+    cache = RunCache(str(tmp_path), max_bytes=1)
+    digest = put_sized(cache, "only")
+    assert cache.get(digest)[0]
+    assert cache.evictions == 0
+
+
+def test_engine_scrapes_eviction_counters(tmp_path):
+    cache = RunCache(str(tmp_path), max_bytes=150)
+    engine = SweepEngine(cache=cache)
+    engine.map(keyed_tasks(4))
+    assert engine.stats.evictions == cache.evictions > 0
+    assert engine.stats.evicted_bytes == cache.evicted_bytes > 0
+    assert engine.stats.to_dict()["cache_evictions"] == cache.evictions
+
+
+def test_unbounded_cache_never_evicts(tmp_path):
+    cache = RunCache(str(tmp_path))
+    for n in range(5):
+        put_sized(cache, f"entry-{n}")
+    assert cache.evictions == 0
+    assert all(cache.get(cache.digest_for(f"entry-{n}"))[0] for n in range(5))
+
+
 def test_default_salt_embeds_state_layout_rev():
     # Bumping the solver state-layout revision must invalidate every
     # cached run without touching CACHE_EPOCH (the two invalidation

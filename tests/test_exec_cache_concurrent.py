@@ -1,0 +1,141 @@
+"""Concurrent-access contract of the run cache (repro.exec.cache).
+
+Several processes may share one cache root (parallel CI jobs, the serve
+daemon next to an offline ``repro figure5``).  The cache is lock-free
+on purpose, so the contract is *benign racing*: whatever interleaving
+of writers, readers, repairers and evictors occurs, a ``get`` either
+misses or returns a complete, correct payload — never a torn or foreign
+one — and a ``put`` never corrupts an entry another process wrote.
+"""
+
+import json
+import multiprocessing
+import os
+import random
+
+import pytest
+
+from repro.exec import RunCache
+
+
+def expected_payload(name):
+    return {"name": name, "value": [ord(c) for c in name]}
+
+
+# ----------------------------------------------------------------------
+# Process-level races (real concurrency, fork start method)
+# ----------------------------------------------------------------------
+def _hammer_put(root, name, n_rounds):
+    cache = RunCache(root)
+    digest = cache.digest_for(name)
+    for _ in range(n_rounds):
+        cache.put(digest, name, expected_payload(name))
+
+
+def _hammer_get(root, name, n_rounds, out):
+    cache = RunCache(root)
+    digest = cache.digest_for(name)
+    bad = 0
+    for _ in range(n_rounds):
+        hit, payload = cache.get(digest)
+        if hit and payload != expected_payload(name):
+            bad += 1
+    out.put(bad)
+
+
+def test_write_write_race_on_same_digest(tmp_path):
+    """Two processes writing the same digest: last replace wins, the
+    entry is always complete and correct."""
+    root = str(tmp_path / "cache")
+    ctx = multiprocessing.get_context("fork")
+    writers = [
+        ctx.Process(target=_hammer_put, args=(root, "shared", 200))
+        for _ in range(2)
+    ]
+    for p in writers:
+        p.start()
+    for p in writers:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+
+    cache = RunCache(root)
+    digest = cache.digest_for("shared")
+    assert cache.get(digest) == (True, expected_payload("shared"))
+    # The envelope on disk is complete JSON (no torn writes survived).
+    with open(cache.path_for(digest), encoding="utf-8") as fh:
+        assert json.load(fh)["digest"] == digest
+    # No stray temp files left behind.
+    leftovers = [
+        name
+        for _, _, names in os.walk(root)
+        for name in names
+        if ".tmp." in name
+    ]
+    assert leftovers == []
+
+
+def test_read_during_repair_race(tmp_path):
+    """A reader racing a writer that is repairing a corrupted entry only
+    ever sees a miss or the correct payload."""
+    root = str(tmp_path / "cache")
+    cache = RunCache(root)
+    digest = cache.digest_for("repair")
+    # Seed a corrupt entry under the final name.
+    os.makedirs(os.path.dirname(cache.path_for(digest)), exist_ok=True)
+    with open(cache.path_for(digest), "w", encoding="utf-8") as fh:
+        fh.write("garbage{")
+
+    ctx = multiprocessing.get_context("fork")
+    out = ctx.Queue()
+    reader = ctx.Process(target=_hammer_get, args=(root, "repair", 400, out))
+    writer = ctx.Process(target=_hammer_put, args=(root, "repair", 200))
+    reader.start()
+    writer.start()
+    for p in (writer, reader):
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    assert out.get(timeout=10) == 0  # no hit ever returned a wrong payload
+    assert cache.get(digest) == (True, expected_payload("repair"))
+
+
+# ----------------------------------------------------------------------
+# Seeded interleavings (deterministic property test, in process)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(5))
+def test_seeded_interleavings_preserve_get_contract(tmp_path, seed):
+    """Two cache handles over one root, driven through a seeded random
+    schedule of put / get / corrupt / evict operations.  Invariant:
+    every hit returns the exact payload its name maps to."""
+    root = str(tmp_path / "cache")
+    handles = [
+        RunCache(root),
+        RunCache(root, max_bytes=1024),  # an evicting handle in the mix
+    ]
+    names = [f"entry-{n}" for n in range(6)]
+    rng = random.Random(seed)
+    for _ in range(300):
+        cache = rng.choice(handles)
+        name = rng.choice(names)
+        digest = cache.digest_for(name)
+        op = rng.randrange(4)
+        if op == 0:
+            cache.put(digest, name, expected_payload(name))
+        elif op == 1:
+            hit, payload = cache.get(digest)
+            if hit:
+                assert payload == expected_payload(name)
+        elif op == 2:  # crash artefact: truncate whatever is there
+            try:
+                with open(cache.path_for(digest), "r+", encoding="utf-8") as fh:
+                    fh.truncate(rng.randrange(40))
+            except OSError:
+                pass
+        else:  # concurrent janitor: force the evictor through its scan
+            if cache.max_bytes is not None:
+                cache._evict()
+    # Steady state: one final put of every name makes every get hit.
+    final = RunCache(root)
+    for name in names:
+        digest = final.digest_for(name)
+        final.put(digest, name, expected_payload(name))
+        assert final.get(digest) == (True, expected_payload(name))

@@ -130,7 +130,103 @@ def test_stats_to_dict_timing_flag():
     assert timed["wall_s"] == 1.5
     assert timed["utilization"] == {"serial": 1.0 / 1.5}
     untimed = stats.to_dict(timing=False)
-    assert untimed == {"jobs": 2, "tasks": 4, "cache_hits": 1, "cache_misses": 3}
+    assert untimed == {
+        "jobs": 2,
+        "tasks": 4,
+        "cache_hits": 1,
+        "cache_misses": 3,
+        "cache_evictions": 0,
+        "pool_starts": 0,
+        "pool_reuse": 0,
+    }
+
+
+def sleepy(x):
+    time.sleep(0.2)
+    return {"x": x}
+
+
+# ----------------------------------------------------------------------
+# Persistent pool: reuse, idle reaping, cancellation
+# ----------------------------------------------------------------------
+def test_pool_persists_across_maps():
+    with SweepEngine(jobs=2) as engine:
+        engine.map(tasks_for(square))
+        engine.map(tasks_for(square))
+        assert engine.stats.pool_starts == 1
+        assert engine.stats.pool_reuse == 1
+
+
+def test_min_pool_tasks_one_routes_single_task_through_pool():
+    # The serve daemon needs even one-task jobs in a worker process so
+    # the stall watchdog can kill them.
+    with SweepEngine(jobs=2, min_pool_tasks=1) as engine:
+        engine.map(tasks_for(square, n=1))
+        assert engine.stats.pool_starts == 1
+        assert any(w.startswith("worker-") for w in engine.stats.busy_s)
+
+
+def test_min_pool_tasks_must_be_positive():
+    with pytest.raises(ValueError, match="min_pool_tasks"):
+        SweepEngine(min_pool_tasks=0)
+
+
+def test_close_is_idempotent():
+    engine = SweepEngine(jobs=2)
+    engine.map(tasks_for(square))
+    engine.close()
+    engine.close()
+    # A closed engine transparently restarts its pool on the next map.
+    assert engine.map(tasks_for(square)) == [
+        {"x": i, "sq": i * i} for i in range(3)
+    ]
+    assert engine.stats.pool_starts == 2
+
+
+def test_maybe_reap_tears_down_idle_pool_only():
+    with SweepEngine(jobs=2) as engine:
+        engine.map(tasks_for(square))
+        assert engine.maybe_reap(idle_s=3600.0) is False  # too recent
+        engine.last_used -= 7200.0
+        assert engine.maybe_reap(idle_s=3600.0) is True
+        assert engine.maybe_reap(idle_s=3600.0) is False  # already gone
+
+
+def test_cancel_is_sticky_until_reset():
+    from repro.exec import SweepCancelled
+
+    engine = SweepEngine()
+    engine.cancel()
+    with pytest.raises(SweepCancelled):
+        engine.map(tasks_for(square))
+    with pytest.raises(SweepCancelled):  # sticky across maps
+        engine.map(tasks_for(square))
+    engine.reset_cancel()
+    assert engine.map(tasks_for(square, n=1)) == [{"x": 0, "sq": 0}]
+
+
+def test_cancel_aborts_in_flight_pool_map():
+    import threading
+
+    from repro.exec import SweepCancelled
+
+    with SweepEngine(jobs=2) as engine:
+        timer = threading.Timer(0.1, engine.cancel)
+        timer.start()
+        t0 = time.perf_counter()
+        try:
+            with pytest.raises(SweepCancelled):
+                engine.map(tasks_for(sleepy, n=8))
+        finally:
+            timer.cancel()
+        # The 8 x 0.2s sweep died early instead of draining.
+        assert time.perf_counter() - t0 < 1.4
+        # After reset the engine is reusable (fresh pool).
+        engine.reset_cancel()
+        assert engine.map(tasks_for(square)) == [
+            {"x": i, "sq": i * i} for i in range(3)
+        ]
+        assert engine.stats.pool_starts == 2
 
 
 def test_stats_summary_mentions_cache_state():

@@ -1,0 +1,253 @@
+"""End-to-end tests for the serve daemon over its unix-socket protocol."""
+
+import contextlib
+import time
+
+import pytest
+
+from repro.serve import (
+    Job,
+    JobWAL,
+    ServeClient,
+    ServeConfig,
+    ServeDaemon,
+    ServeError,
+    audit_replay,
+    execute_spec,
+    read_audit,
+)
+
+
+@contextlib.contextmanager
+def running_daemon(tmp_path, **overrides):
+    """A started daemon on a tmp state dir + a connected client."""
+    state_dir = str(tmp_path / "serve")
+    config = ServeConfig(
+        state_dir=state_dir,
+        workers=2,
+        durable=False,  # tests don't need fsync latency
+        **overrides,
+    )
+    daemon = ServeDaemon(config)
+    daemon.start()
+    client = ServeClient(config.resolved_address())
+    client.wait_until_up()
+    try:
+        yield daemon, client
+    finally:
+        daemon.stop()
+
+
+SLEEP = {"kind": "sleep", "seconds": 0.01, "tasks": 2}
+
+
+# ----------------------------------------------------------------------
+# Submit / result / digest equality
+# ----------------------------------------------------------------------
+def test_served_digest_equals_direct_execution(tmp_path):
+    with running_daemon(tmp_path) as (daemon, client):
+        job_id = client.submit(SLEEP)
+        job = client.result(job_id, follow=True, timeout=60)
+        assert job["state"] == "done"
+        # The serving contract: a served result digest is byte-equal to
+        # an offline run of the same spec (sleep payloads are pure
+        # functions of the spec, wall-clock never enters the digest).
+        assert job["result"]["digest"] == execute_spec(SLEEP)["digest"]
+
+        # Terminal results are served instantly without follow too.
+        again = client.result(job_id)
+        assert again["result"]["digest"] == job["result"]["digest"]
+
+
+def test_follow_streams_transitions_then_result(tmp_path):
+    with running_daemon(tmp_path) as (daemon, client):
+        job_id = client.submit(SLEEP)
+        events = list(client.follow(job_id))
+        assert events[-1]["event"] == "result"
+        assert events[-1]["job"]["state"] == "done"
+        assert all(e["event"] in ("state", "result") for e in events)
+
+
+def test_jobs_listing_and_tenant_filter(tmp_path):
+    with running_daemon(tmp_path) as (daemon, client):
+        a = client.submit(SLEEP, tenant="alice")
+        b = client.submit(SLEEP, tenant="bob")
+        client.result(a, follow=True, timeout=60)
+        client.result(b, follow=True, timeout=60)
+        assert {j["job_id"] for j in client.jobs()} == {a, b}
+        assert [j["job_id"] for j in client.jobs(tenant="bob")] == [b]
+
+
+# ----------------------------------------------------------------------
+# Admission gates: bad specs and quotas never reach the queue
+# ----------------------------------------------------------------------
+def test_bad_spec_rejected_at_admission(tmp_path):
+    with running_daemon(tmp_path) as (daemon, client):
+        with pytest.raises(ServeError, match="unknown job kind"):
+            client.submit({"kind": "warp-drive"})
+        assert client.jobs() == []
+
+
+def test_tenant_quota_enforced(tmp_path):
+    with running_daemon(tmp_path, quota=1) as (daemon, client):
+        client.submit({"kind": "sleep", "seconds": 5.0, "tasks": 1})
+        with pytest.raises(ServeError, match="quota"):
+            client.submit(SLEEP)
+        # Other tenants keep their own budget.
+        client.submit(SLEEP, tenant="bob")
+
+
+# ----------------------------------------------------------------------
+# Kill verb
+# ----------------------------------------------------------------------
+def test_kill_queued_job(tmp_path):
+    with running_daemon(tmp_path) as (daemon, client):
+        # A long sleeper occupies the dispatcher, so the next submit
+        # stays queued long enough to kill deterministically.
+        blocker = client.submit({"kind": "sleep", "seconds": 3.0, "tasks": 1})
+        victim = client.submit(SLEEP)
+        response = client.kill(victim)
+        assert response["state"] == "killed"
+        job = client.result(victim)
+        assert job["state"] == "killed" and "operator" in job["error"]
+        # The blocker is unaffected.
+        assert client.result(blocker, follow=True, timeout=60)["state"] == "done"
+
+
+def test_kill_running_job(tmp_path):
+    with running_daemon(tmp_path) as (daemon, client):
+        job_id = client.submit({"kind": "sleep", "seconds": 30.0, "tasks": 1})
+        deadline = time.monotonic() + 10.0
+        while client.result(job_id)["state"] != "running":
+            assert time.monotonic() < deadline, "job never started"
+            time.sleep(0.02)
+        assert client.kill(job_id)["state"] == "killing"
+        job = client.result(job_id, follow=True, timeout=60)
+        assert job["state"] == "killed"
+
+
+# ----------------------------------------------------------------------
+# Stall watchdog: kill + requeue with backoff, capped retries
+# ----------------------------------------------------------------------
+def test_watchdog_kills_and_requeues_stalled_job(tmp_path):
+    with running_daemon(
+        tmp_path, job_timeout_s=0.3, max_retries=1, retry_backoff_s=0.1
+    ) as (daemon, client):
+        job_id = client.submit({"kind": "sleep", "seconds": 30.0, "tasks": 1})
+        job = client.result(job_id, follow=True, timeout=60)
+        assert job["state"] == "killed"
+        assert job["attempts"] == 2  # original + one requeued retry
+        assert "watchdog" in job["error"]
+        assert client.health()["watchdog_kills"] >= 2
+
+
+# ----------------------------------------------------------------------
+# Crash recovery: WAL replay requeues exactly the incomplete jobs
+# ----------------------------------------------------------------------
+def crash_state_dir(tmp_path, n_queued=2):
+    """A state dir as a kill -9 would leave it: queued + running jobs."""
+    state_dir = tmp_path / "serve"
+    state_dir.mkdir()
+    wal = JobWAL(str(state_dir / "wal.jsonl"), durable=False)
+    for n in range(1, n_queued + 2):
+        job = Job(
+            job_id=f"j{n:06d}",
+            tenant="alice",
+            priority=0,
+            spec=dict(SLEEP),
+            max_retries=2,
+            submitted_seq=n,
+        )
+        wal.submit(job.to_record())
+    # The last one was mid-execution when the daemon died.
+    wal.state(job.job_id, "running", attempts=1)
+    wal.close()
+    return str(state_dir)
+
+
+def test_recovery_requeues_and_completes_interrupted_jobs(tmp_path):
+    state_dir = crash_state_dir(tmp_path)
+    config = ServeConfig(state_dir=state_dir, workers=2, durable=False)
+    daemon = ServeDaemon(config)
+    daemon.start()
+    try:
+        client = ServeClient(config.resolved_address())
+        client.wait_until_up()
+        jobs = {j["job_id"]: j for j in client.jobs()}
+        assert set(jobs) == {"j000001", "j000002", "j000003"}
+        for job_id in sorted(jobs):
+            final = client.result(job_id, follow=True, timeout=60)
+            assert final["state"] == "done"
+        # The interrupted attempt stays visible in the attempt count.
+        assert client.result("j000003")["attempts"] == 2
+        # New submissions do not collide with recovered ids.
+        assert client.submit(SLEEP) == "j000004"
+    finally:
+        daemon.stop()
+
+
+def test_recovery_preserves_terminal_results(tmp_path):
+    with running_daemon(tmp_path) as (daemon, client):
+        job_id = client.submit(SLEEP)
+        done = client.result(job_id, follow=True, timeout=60)
+    # Restart over the same state dir: the result is served from the WAL
+    # without re-executing anything.
+    config = ServeConfig(state_dir=daemon.config.state_dir, durable=False)
+    daemon2 = ServeDaemon(config)
+    daemon2.start()
+    try:
+        client2 = ServeClient(config.resolved_address())
+        client2.wait_until_up()
+        job = client2.result(job_id)
+        assert job["state"] == "done"
+        assert job["result"]["digest"] == done["result"]["digest"]
+        assert client2.health()["states"]["queued"] == 0
+    finally:
+        daemon2.stop()
+
+
+# ----------------------------------------------------------------------
+# Audit log + offline replay
+# ----------------------------------------------------------------------
+def test_audit_log_replays_byte_identically(tmp_path):
+    with running_daemon(tmp_path) as (daemon, client):
+        for _ in range(2):
+            job_id = client.submit({"kind": "figure5", "mode": "tiny"})
+            job = client.result(job_id, follow=True, timeout=600)
+            assert job["state"] == "done"
+        audit_path = daemon.audit.path
+        # The repeat submission was served from the run cache...
+        assert client.health()["cache_hit_rate"] > 0.0
+    records = read_audit(audit_path)
+    assert [r["state"] for r in records] == ["done", "done"]
+    # ...and both served digests byte-verify against an offline replay
+    # (serial engine, no cache — independent of how they were served).
+    report = audit_replay(audit_path, sample=2)
+    assert report.ok, report.report()
+
+
+# ----------------------------------------------------------------------
+# Health / metrics verbs
+# ----------------------------------------------------------------------
+def test_health_and_metrics_verbs(tmp_path):
+    with running_daemon(tmp_path) as (daemon, client):
+        job_id = client.submit(SLEEP)
+        client.result(job_id, follow=True, timeout=60)
+        health = client.health()
+        assert health["ok"] is True
+        assert health["states"]["done"] == 1
+        assert health["wal_seq"] >= 3  # submit + running + done
+        assert health["engine"]["pool_starts"] >= 1
+
+        names = {record["name"] for record in client.metrics()}
+        assert {"serve.jobs_submitted", "serve.queue_depth",
+                "serve.jobs_in_state", "serve.job_latency_s",
+                "exec.tasks"} <= names
+
+
+def test_unknown_verb_is_an_error(tmp_path):
+    with running_daemon(tmp_path) as (daemon, client):
+        with pytest.raises(ServeError, match="verb"):
+            client.request("teleport")
+        with pytest.raises(ServeError, match="unknown job"):
+            client.result("j999999")

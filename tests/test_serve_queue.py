@@ -1,0 +1,152 @@
+"""Unit tests for the serve queue pieces: job table, scheduler, admission."""
+
+import random
+
+import pytest
+
+from repro.serve import (
+    AdmissionError,
+    FairShareScheduler,
+    Job,
+    JobTable,
+    QuotaError,
+    config_digest,
+    validate_spec,
+)
+
+
+def make_job(job_id, *, tenant="alice", priority=0, seq=0, not_before=0.0):
+    return Job(
+        job_id=job_id,
+        tenant=tenant,
+        priority=priority,
+        spec={"kind": "sleep", "seconds": 0.0, "tasks": 1},
+        max_retries=2,
+        submitted_seq=seq,
+        not_before=not_before,
+    )
+
+
+# ----------------------------------------------------------------------
+# JobTable: quotas, counts, restore
+# ----------------------------------------------------------------------
+def test_quota_rejects_excess_outstanding_jobs():
+    table = JobTable(quota=2)
+    table.admit(make_job("j000001", seq=1))
+    table.admit(make_job("j000002", seq=2))
+    with pytest.raises(QuotaError, match="quota"):
+        table.admit(make_job("j000003", seq=3))
+    # Another tenant is unaffected; a terminal job frees the slot.
+    table.admit(make_job("j000004", tenant="bob", seq=4))
+    table.jobs["j000001"].state = "done"
+    table.admit(make_job("j000005", seq=5))
+
+
+def test_duplicate_job_id_rejected():
+    table = JobTable()
+    table.admit(make_job("j000001", seq=1))
+    with pytest.raises(ValueError, match="duplicate"):
+        table.admit(make_job("j000001", seq=2))
+
+
+def test_counts_cover_every_state():
+    table = JobTable()
+    table.admit(make_job("j000001", seq=1))
+    job = make_job("j000002", seq=2)
+    table.admit(job)
+    job.state = "failed"
+    assert table.counts() == {
+        "queued": 1, "running": 0, "done": 0, "failed": 1, "killed": 0,
+    }
+
+
+def test_restore_requeues_only_non_terminal_jobs():
+    table = JobTable()
+    records = {
+        "j000001": make_job("j000001", seq=1).to_record() | {"state": "done"},
+        "j000002": make_job("j000002", seq=2).to_record() | {"state": "running"},
+        "j000003": make_job("j000003", seq=3).to_record() | {"state": "queued"},
+    }
+    candidates = table.restore(records)
+    assert [j.job_id for j in candidates] == ["j000002", "j000003"]
+    assert table.jobs["j000001"].state == "done"
+    # Id counter resumes past the highest restored id.
+    assert table.new_job_id() == "j000004"
+
+
+# ----------------------------------------------------------------------
+# FairShareScheduler
+# ----------------------------------------------------------------------
+def test_higher_priority_runs_first():
+    sched = FairShareScheduler()
+    jobs = [
+        make_job("j000001", priority=0, seq=1),
+        make_job("j000002", priority=5, seq=2),
+    ]
+    assert sched.pick(jobs, {}, now=0.0).job_id == "j000002"
+
+
+def test_fair_share_prefers_least_served_tenant():
+    sched = FairShareScheduler()
+    jobs = [
+        make_job("j000001", tenant="hog", seq=1),
+        make_job("j000002", tenant="newcomer", seq=2),
+    ]
+    usage = {"hog": 100.0, "newcomer": 0.5}
+    assert sched.pick(jobs, usage, now=0.0).job_id == "j000002"
+    # ...but priority classes still dominate fair share.
+    jobs[0] = make_job("j000001", tenant="hog", priority=1, seq=1)
+    assert sched.pick(jobs, usage, now=0.0).job_id == "j000001"
+
+
+def test_ties_break_by_submission_order_deterministically():
+    sched = FairShareScheduler()
+    jobs = [make_job(f"j{n:06d}", seq=n) for n in range(1, 6)]
+    rng = random.Random(7)
+    for _ in range(5):
+        rng.shuffle(jobs)
+        assert sched.pick(jobs, {}, now=0.0).job_id == "j000001"
+
+
+def test_not_before_gates_eligibility():
+    sched = FairShareScheduler()
+    jobs = [make_job("j000001", seq=1, not_before=100.0)]
+    assert sched.pick(jobs, {}, now=50.0) is None
+    assert sched.pick(jobs, {}, now=100.0).job_id == "j000001"
+
+
+def test_fairness_snapshot():
+    fairness = FairShareScheduler.fairness({"a": 3.0, "b": 1.0, "idle": 0.0})
+    assert fairness["shares"] == {"a": 0.75, "b": 0.25}
+    assert fairness["max_over_min"] == 3.0
+    assert FairShareScheduler.fairness({})["max_over_min"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Admission gates + config digests
+# ----------------------------------------------------------------------
+def test_validate_fills_defaults_for_stable_digests():
+    assert validate_spec({"kind": "figure5"}) == {"kind": "figure5", "mode": "tiny"}
+    # Two submissions meaning the same job digest identically.
+    assert config_digest({"kind": "soak"}) == config_digest(
+        {"kind": "soak", "schedules": 4, "seed": 0}
+    )
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "not an object",
+        {"kind": "warp-drive"},
+        {"kind": "figure5", "mode": "gigantic"},
+        {"kind": "soak", "schedules": 0},
+        {"kind": "soak", "schedules": 10_000},
+        {"kind": "soak", "seed": "zero"},
+        {"kind": "sleep", "seconds": -1.0},
+        {"kind": "sleep", "seconds": 1e9},
+        {"kind": "sleep", "tasks": 0},
+    ],
+)
+def test_admission_gates_reject_bad_specs(spec):
+    with pytest.raises(AdmissionError):
+        validate_spec(spec)
