@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Topology-zoo benchmark (``BENCH_topology.json``).
+
+Times the (topology × LB algorithm × fault schedule) sweep of
+:func:`repro.experiments.run_topology_zoo` plus the per-cell hot path
+(:func:`repro.balancing.zoo.run_zoo` on representative cells), and
+records each sweep's :func:`~repro.analysis.perf.stable_digest` in the
+result ``meta`` — so ``repro bench-compare`` flags wall-clock
+regressions and a digest change is visible in review.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_topology.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_topology.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_topology.py --check    # CI gate
+
+``--check`` exits non-zero unless
+
+* two back-to-back runs of the sweep produce the **same digest** (the
+  byte-reproducibility acceptance criterion of ISSUE 8),
+* every diffusion-family algorithm actually balances the fault-free
+  spike (final imbalance ≤ 1.15 on every topology), and
+* the decentralized winners table is fully populated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any
+
+from repro.analysis.perf import BenchReport, BenchResult
+from repro.balancing.zoo import ZooParams, make_zoo_schedule, run_zoo
+from repro.exec import SweepEngine
+from repro.experiments import TopologyZooScenario, run_topology_zoo
+from repro.topology.graphs import build_topology, spec_for_family
+
+#: Per-cell microbenchmark points: (family, algorithm, schedule).
+CELLS: tuple[tuple[str, str, str], ...] = (
+    ("torus", "diffusion", "none"),
+    ("torus", "accelerated", "load_shock"),
+    ("hypercube", "dimension_exchange", "none"),
+    ("hierarchy", "reactive_residual", "node_outage"),
+    ("expander", "bertsekas", "link_flap"),
+)
+
+#: Algorithms gated on actually balancing the fault-free spike.  The
+#: single-partner asynchronous schemes (bertsekas, reactive_residual)
+#: level the spike much more slowly by design, so they are reported but
+#: not gated.
+GATED_ALGORITHMS = ("diffusion", "accelerated", "dimension_exchange", "centralized")
+
+#: Families the balancing gate runs on: the fast-mixing graphs.  On a
+#: chain/ring (mixing time ~ n²) or an irregular-degree random geometric
+#: graph, first-order diffusion legitimately cannot level a spike within
+#: these round budgets — that slowness is a *result* the report shows,
+#: not a regression to gate on.
+GATED_FAMILIES = ("mesh2d", "mesh3d", "torus", "hypercube", "expander", "hierarchy")
+
+
+def bench_sweep(
+    report: BenchReport, scenario: TopologyZooScenario, label: str, repeats: int
+) -> dict[str, Any]:
+    """Time ``repeats`` cold runs of the sweep; returns the summary.
+
+    Every repeat runs with the cache off (a warm rerun would time the
+    cache, not the zoo) and must produce the same digest.
+    """
+    walls: list[float] = []
+    digests: list[str] = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_topology_zoo(scenario, engine=SweepEngine())
+        walls.append(time.perf_counter() - t0)
+        digests.append(result.digest())
+    n_cells = len(result.rows)
+    report.add(
+        BenchResult(
+            name=f"zoo_sweep_{label}",
+            best=min(walls),
+            median=sorted(walls)[len(walls) // 2],
+            mean=sum(walls) / len(walls),
+            repeats=repeats,
+            meta={
+                "cells": n_cells,
+                "n_nodes": scenario.n_nodes,
+                "rounds": scenario.rounds,
+                "digest": digests[0],
+            },
+        )
+    )
+    print(
+        f"zoo_sweep_{label}: {n_cells} cells, best {min(walls):.3f}s, "
+        f"digest {digests[0][:12]}"
+    )
+    return {
+        "label": label,
+        "digests": digests,
+        "result": result,
+    }
+
+
+def bench_cells(report: BenchReport, scenario: TopologyZooScenario) -> None:
+    """Per-cell hot-path timings at the scenario's size."""
+    params = ZooParams(rounds=scenario.rounds)
+    for family, algorithm, schedule_name in CELLS:
+        topology = build_topology(
+            spec_for_family(family, scenario.n_nodes, seed=scenario.seed)
+        )
+        schedule = make_zoo_schedule(
+            schedule_name, topology, params.rounds, seed=scenario.seed
+        )
+        walls = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            run_zoo(
+                topology,
+                algorithm,
+                params=params,
+                schedule=schedule,
+                seed=scenario.seed,
+            )
+            walls.append(time.perf_counter() - t0)
+        report.add(
+            BenchResult(
+                name=f"zoo_cell_{family}_{algorithm}_{schedule_name}",
+                best=min(walls),
+                median=sorted(walls)[1],
+                mean=sum(walls) / len(walls),
+                repeats=3,
+                meta={
+                    "n_nodes": scenario.n_nodes,
+                    "rounds": params.rounds,
+                },
+            )
+        )
+
+
+def check(summary: dict[str, Any], scenario: TopologyZooScenario) -> list[str]:
+    """The CI gates (see module docstring)."""
+    problems: list[str] = []
+    if len(set(summary["digests"])) != 1:
+        problems.append(
+            f"sweep is not reproducible: digests {summary['digests']}"
+        )
+    result = summary["result"]
+    for family in scenario.families:
+        if family not in GATED_FAMILIES:
+            continue
+        for algorithm in GATED_ALGORITHMS:
+            if algorithm not in scenario.algorithms:
+                continue
+            row = result.row(family, algorithm, "none")
+            if row is None:
+                problems.append(f"missing row {family}/{algorithm}/none")
+            elif row["final_imbalance"] > 1.15:
+                problems.append(
+                    f"{family}/{algorithm}/none: final imbalance "
+                    f"{row['final_imbalance']:.3f} > 1.15 — did not balance"
+                )
+    winners = result.winners()
+    expected = len(scenario.families) * len(scenario.schedules)
+    if len(winners) != expected:
+        problems.append(
+            f"winners table has {len(winners)} cells, expected {expected}"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke grid")
+    parser.add_argument(
+        "-o", "--out", default=None,
+        help="JSON output path (default: BENCH_topology.json, repo root)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless digests match across reruns and the "
+        "diffusion-family algorithms balance the fault-free spike",
+    )
+    args = parser.parse_args(argv)
+
+    scenario = (
+        TopologyZooScenario.quick() if args.quick else TopologyZooScenario()
+    )
+    label = "quick" if args.quick else "full"
+    report = BenchReport("repro topology-zoo benchmarks")
+    summary = bench_sweep(report, scenario, label, repeats=2)
+    bench_cells(report, scenario)
+    print(report.format_table())
+    print(summary["result"].report())
+
+    out = args.out
+    if out is None:
+        from pathlib import Path
+
+        out = str(Path(__file__).resolve().parent.parent / "BENCH_topology.json")
+    report.save(out)
+    print(f"[report saved to {out}]")
+
+    if args.check:
+        problems = check(summary, scenario)
+        if problems:
+            for p in problems:
+                print(f"CHECK FAILED: {p}", file=sys.stderr)
+            return 1
+        print(
+            "[--check passed: reproducible digest, diffusion-family "
+            "algorithms balanced, winners table full]"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

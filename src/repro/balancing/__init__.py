@@ -32,11 +32,27 @@ from repro.balancing.accelerated import (
 from repro.balancing.analysis import imbalance_ratio, load_stddev, mean_load
 from repro.balancing.bertsekas import BertsekasParams, simulate_bertsekas_lb
 from repro.balancing.centralized import centralized_balance
-from repro.balancing.diffusion import diffusion_balance, diffusion_step, optimal_alpha
+from repro.balancing.diffusion import (
+    diffusion_balance,
+    diffusion_step,
+    max_stable_alpha,
+    optimal_alpha,
+)
 from repro.balancing.dimension_exchange import (
     dimension_exchange_balance,
     dimension_exchange_round,
     edge_colouring,
+)
+from repro.balancing.zoo import (
+    ZOO_ALGORITHMS,
+    ZOO_SCHEDULES,
+    TriggerPolicy,
+    ZooFaultSchedule,
+    ZooParams,
+    ZooRunResult,
+    initial_load,
+    make_zoo_schedule,
+    run_zoo,
 )
 
 __all__ = [
@@ -52,8 +68,18 @@ __all__ = [
     "centralized_balance",
     "diffusion_balance",
     "diffusion_step",
+    "max_stable_alpha",
     "optimal_alpha",
     "dimension_exchange_balance",
     "dimension_exchange_round",
     "edge_colouring",
+    "ZOO_ALGORITHMS",
+    "ZOO_SCHEDULES",
+    "TriggerPolicy",
+    "ZooFaultSchedule",
+    "ZooParams",
+    "ZooRunResult",
+    "initial_load",
+    "make_zoo_schedule",
+    "run_zoo",
 ]

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.balancing.analysis import load_stddev
 
-__all__ = ["diffusion_step", "diffusion_balance", "optimal_alpha"]
+__all__ = ["diffusion_step", "diffusion_balance", "max_stable_alpha", "optimal_alpha"]
 
 
 def _node_index(graph: nx.Graph) -> dict:
@@ -27,11 +27,30 @@ def _node_index(graph: nx.Graph) -> dict:
 
 
 def optimal_alpha(graph: nx.Graph) -> float:
-    """A safe, well-performing diffusion parameter: ``1 / (deg_max + 1)``."""
+    """A safe, well-performing diffusion parameter: ``1 / (deg_max + 1)``.
+
+    An edgeless graph (including the single node) has nothing to
+    diffuse; any legal alpha is a no-op there, so return the largest one
+    ``diffusion_step`` accepts instead of the out-of-range ``1.0`` that
+    ``deg_max = 0`` would produce.
+    """
     if graph.number_of_nodes() == 0:
         raise ValueError("graph is empty")
     deg_max = max(dict(graph.degree()).values(), default=0)
+    if deg_max == 0:
+        return 0.5
     return 1.0 / (deg_max + 1)
+
+
+def max_stable_alpha(graph: nx.Graph) -> float:
+    """The largest alpha ``diffusion_step`` accepts for ``graph``:
+    ``min(0.5, 1/deg_max)`` — beyond ``1/deg_max`` the iteration matrix
+    has an eigenvalue below ``-1`` on high-degree graphs (e.g. stars)
+    and the scheme oscillates instead of converging."""
+    deg_max = max(dict(graph.degree()).values(), default=0)
+    if deg_max == 0:
+        return 0.5
+    return min(0.5, 1.0 / deg_max)
 
 
 def diffusion_step(graph: nx.Graph, load: np.ndarray, alpha: float) -> np.ndarray:
@@ -42,8 +61,13 @@ def diffusion_step(graph: nx.Graph, load: np.ndarray, alpha: float) -> np.ndarra
             f"load must have one entry per node "
             f"({graph.number_of_nodes()}), got shape {load.shape}"
         )
-    if not 0 < alpha <= 0.5 + 1e-12:
-        raise ValueError(f"alpha must be in (0, 0.5], got {alpha!r}")
+    limit = max_stable_alpha(graph)
+    if not 0 < alpha <= limit + 1e-12:
+        raise ValueError(
+            f"alpha must be in (0, {limit:g}] for this graph "
+            f"(deg_max={max(dict(graph.degree()).values(), default=0)}), "
+            f"got {alpha!r}"
+        )
     idx = _node_index(graph)
     new = load.copy()
     for u, v in graph.edges():

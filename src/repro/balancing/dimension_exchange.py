@@ -32,8 +32,14 @@ def edge_colouring(graph: nx.Graph) -> list[list[tuple]]:
     node ordering.
     """
     colours: list[list[tuple]] = []
-    # Sort for determinism regardless of graph construction order.
-    edges = sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1])))
+    # networkx yields each edge in insertion orientation, so normalize
+    # the endpoint order before the deterministic sort — otherwise the
+    # same graph built edge-by-edge in a different order produces
+    # different matchings.
+    edges = sorted(
+        (tuple(sorted(e, key=str)) for e in graph.edges()),
+        key=lambda e: (str(e[0]), str(e[1])),
+    )
     busy: list[set] = []  # nodes used per colour
     for u, v in edges:
         for c, used in enumerate(busy):

@@ -118,6 +118,21 @@ def _resilience(args: argparse.Namespace) -> str:
     return report + f"\n[{engine.stats.summary()}]"
 
 
+def _topology_zoo(args: argparse.Namespace) -> str:
+    from repro.experiments import TopologyZooScenario, run_topology_zoo
+
+    scenario = (
+        TopologyZooScenario() if args.full else TopologyZooScenario.quick()
+    )
+    engine = _engine_for(args)
+    result = run_topology_zoo(scenario, engine=engine)
+    report = result.report()
+    if args.json:
+        result.save_json(args.json)
+        report += f"\ntopology-zoo report written to {args.json}"
+    return report + f"\n[{engine.stats.summary()}]"
+
+
 def _obs_mode(args: argparse.Namespace) -> str:
     if args.full:
         return "full"
@@ -455,6 +470,7 @@ def _list(args: argparse.Namespace) -> str:
             "figures-1-4  SISC/SIAC/AIAC execution flows (paper Figures 1-4)",
             "models       cluster vs grid model comparison (paper §6)",
             "resilience   execution models under injected faults",
+            "topology-zoo LB algorithms x topologies x fault schedules",
             "soak         chaos soak: random fault schedules under repro.guard",
             f"ablations    design-knob sweeps: {', '.join(sorted(_ABLATIONS))}",
             "metrics      experiment run with a metrics sidecar (repro.obs)",
@@ -557,6 +573,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the report (rows + digest) to this JSON file",
     )
     _add_engine_flags(resilience_cmd)
+
+    zoo_cmd = sub.add_parser(
+        "topology-zoo",
+        help="LB algorithm zoo across topologies and fault schedules",
+    )
+    zoo_cmd.set_defaults(handler=_topology_zoo)
+    zoo_cmd.add_argument(
+        "--full",
+        action="store_true",
+        help="full grid (all families/algorithms/schedules) instead of "
+        "the quick CI cut",
+    )
+    zoo_cmd.add_argument(
+        "--json",
+        default="",
+        help="also write rows + winners + digest to this JSON file",
+    )
+    _add_engine_flags(zoo_cmd)
 
     for name, fn, helptext in [
         (

@@ -41,6 +41,7 @@ from repro.problems.base import Problem
 from repro.runtime.message import Message
 from repro.runtime.node import GridNode
 from repro.runtime.tracer import IterationSpan, ResidualRecord, Tracer
+from repro.topology.graphs import Topology
 
 __all__ = ["ChainRun", "RankContext", "run_aiac", "build_chain"]
 
@@ -102,6 +103,7 @@ class ChainRun:
         *,
         model: str,
         host_order: list[int] | None = None,
+        topology: Topology | None = None,
     ) -> None:
         self.problem = problem
         # Each run gets a private copy of the platform: network FIFO
@@ -125,9 +127,16 @@ class ChainRun:
                 f"got {host_order!r}"
             )
         self.host_order = host_order
+        # The migration neighbourhood.  The solver's contiguous 1-D
+        # block decomposition only admits path topologies (enforced by
+        # PartitionRegistry); arbitrary graphs are the balancing zoo's
+        # domain (repro.balancing.zoo).
+        self.topology = topology if topology is not None else Topology.chain(n_ranks)
         self.sim = Simulator()
         self.tracer = Tracer(enabled=config.trace)
-        self.partition = PartitionRegistry(problem.n_components, n_ranks)
+        self.partition = PartitionRegistry(
+            problem.n_components, n_ranks, topology=self.topology
+        )
         #: Overridden by the load-balanced driver: True while ``rank``
         #: has unfinished migration-protocol state (offer out, accepted
         #: incoming, data in flight) — detection must not conclude then.
@@ -202,10 +211,10 @@ class ChainRun:
         return len(self.ranks)
 
     def neighbor(self, rank: int, side: str) -> RankContext | None:
-        idx = rank - 1 if side == "left" else rank + 1
-        if 0 <= idx < self.n_ranks:
-            return self.ranks[idx]
-        return None
+        idx = self.topology.path_neighbor(rank, side)
+        if idx is None:
+            return None
+        return self.ranks[idx]
 
     def _on_converged(self) -> None:
         for ctx in self.ranks:

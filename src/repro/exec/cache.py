@@ -80,7 +80,10 @@ CACHE_SCHEMA = "repro-exec-cache/1"
 
 #: Bump when a code change alters cached results without changing any
 #: scenario/config field (e.g. a solver numerics fix).
-CACHE_EPOCH = 1
+#: 2: repro.balancing determinism/stability fixes (canonical edge
+#:    orientation in edge_colouring, degree-aware diffusion alpha
+#:    validation) change any cached result computed through them.
+CACHE_EPOCH = 2
 
 #: Revision of the in-memory solver state layout (rank-batched arrays,
 #: block tiling, checkpoint snapshot format).  Cached payloads are pure

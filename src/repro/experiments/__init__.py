@@ -14,6 +14,11 @@ from repro.experiments.models_comparison import (
     run_models_comparison,
 )
 from repro.experiments.resilience import ResilienceResult, run_resilience
+from repro.experiments.topology_zoo import (
+    TopologyZooResult,
+    TopologyZooScenario,
+    run_topology_zoo,
+)
 
 __all__ = [
     "run_figure5",
@@ -26,4 +31,7 @@ __all__ = [
     "ModelsComparisonResult",
     "run_resilience",
     "ResilienceResult",
+    "run_topology_zoo",
+    "TopologyZooResult",
+    "TopologyZooScenario",
 ]

@@ -16,6 +16,13 @@ from repro.topology.logical import (
     sorted_by_speed_order,
 )
 from repro.topology.dependency import chain_dependency_graph, dependency_graph_stats
+from repro.topology.graphs import (
+    TOPOLOGY_FAMILIES,
+    Topology,
+    TopologySpec,
+    build_topology,
+    spec_for_family,
+)
 
 __all__ = [
     "identity_order",
@@ -24,4 +31,9 @@ __all__ = [
     "sorted_by_speed_order",
     "chain_dependency_graph",
     "dependency_graph_stats",
+    "TOPOLOGY_FAMILIES",
+    "Topology",
+    "TopologySpec",
+    "build_topology",
+    "spec_for_family",
 ]

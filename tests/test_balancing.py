@@ -90,6 +90,52 @@ def test_optimal_alpha():
         optimal_alpha(nx.Graph())
 
 
+def test_optimal_alpha_edgeless_is_accepted_by_diffusion():
+    # Regression (ISSUE 8): deg_max == 0 used to yield alpha = 1.0,
+    # which diffusion_step's own validation rejects — diffusion_balance
+    # crashed on an input it should trivially accept.
+    g = nx.empty_graph(3)
+    alpha = optimal_alpha(g)
+    assert 0 < alpha <= 0.5
+    load = np.array([1.0, 2.0, 3.0])
+    assert np.array_equal(diffusion_step(g, load, alpha), load)
+    single = nx.empty_graph(1)
+    balanced, rounds = diffusion_balance(single, np.array([5.0]))
+    assert rounds == 0
+    assert balanced[0] == 5.0
+
+
+def test_diffusion_step_rejects_divergent_alpha_on_stars():
+    # Regression (ISSUE 8): alpha = 0.5 on a star of degree >= 3 makes
+    # the iteration matrix's extreme eigenvalue < -1; the hub and leaves
+    # swap ever-growing loads instead of converging, and
+    # diffusion_balance burned all max_rounds before raising.  The step
+    # must reject alpha > 1/deg_max up front.
+    g = nx.star_graph(3)  # hub degree 3: stable only for alpha <= 1/3
+    load = np.array([12.0, 0.0, 0.0, 0.0])
+    with pytest.raises(ValueError, match="alpha"):
+        diffusion_step(g, load, 0.5)
+    with pytest.raises(ValueError, match="alpha"):
+        diffusion_balance(g, load, alpha=0.5, max_rounds=50)
+    # The divergence the validation prevents, shown on the raw update:
+    # one unvalidated round at alpha = 0.5 overshoots the hub below
+    # every leaf (negative load!), and the oscillation never decays.
+    stddevs = [float(np.std(load))]
+    current = load.copy()
+    for _ in range(6):
+        new = current.copy()
+        for u, v in g.edges():
+            flow = 0.5 * (current[u] - current[v])
+            new[u] -= flow
+            new[v] += flow
+        current = new
+        stddevs.append(float(np.std(current)))
+    assert stddevs[-1] >= stddevs[1]  # not converging
+    # With the validated safe alpha the same spike balances fine.
+    balanced, _ = diffusion_balance(g, load, tol=1e-6)
+    assert load_stddev(balanced) <= 1e-6
+
+
 @settings(max_examples=25, deadline=None)
 @given(seed=st.integers(0, 100), n=st.integers(2, 12))
 def test_property_diffusion_monotone_stddev(seed, n):
@@ -115,6 +161,26 @@ def test_edge_colouring_is_proper():
     for matching in colours:
         nodes = [n for e in matching for n in e]
         assert len(nodes) == len(set(nodes))  # a valid matching
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_edge_colouring_ignores_construction_order(seed):
+    # Regression (ISSUE 8): networkx yields each edge in insertion
+    # orientation, and the old code sorted the raw (u, v) tuples — the
+    # same graph built in a different order produced different
+    # matchings.  Endpoints must be normalized before sorting.
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]
+    reference = nx.Graph()
+    reference.add_edges_from(edges)
+    rng = np.random.default_rng(seed)
+    shuffled = nx.Graph()
+    for i in rng.permutation(len(edges)):
+        u, v = edges[i]
+        if rng.integers(2):
+            u, v = v, u  # insert in flipped orientation
+        shuffled.add_edge(u, v)
+    assert edge_colouring(shuffled) == edge_colouring(reference)
 
 
 def test_dimension_exchange_round_averages_pairs():

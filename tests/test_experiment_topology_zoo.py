@@ -1,0 +1,127 @@
+"""Tests for the topology-zoo experiment + CLI verb (ISSUE 8)."""
+
+import json
+
+import pytest
+
+from repro.exec import RunCache, SweepEngine
+from repro.experiments import TopologyZooScenario, run_topology_zoo
+
+
+def _tiny():
+    return TopologyZooScenario(
+        families=("chain", "torus"),
+        algorithms=("diffusion", "reactive_residual"),
+        schedules=("none", "load_shock"),
+        n_nodes=8,
+        rounds=24,
+    )
+
+
+def test_rows_cover_the_grid_in_order():
+    scenario = _tiny()
+    result = run_topology_zoo(scenario)
+    assert len(result.rows) == 8
+    expected = [
+        (family, algorithm, schedule)
+        for family in scenario.families
+        for algorithm in scenario.algorithms
+        for schedule in scenario.schedules
+    ]
+    got = [
+        (row["family"], row["algorithm"], row["schedule"])
+        for row in result.rows
+    ]
+    assert got == expected
+
+
+def test_digest_is_reproducible_across_runs():
+    a = run_topology_zoo(_tiny())
+    b = run_topology_zoo(_tiny())
+    assert a.digest() == b.digest()
+    assert a.rows == b.rows
+
+
+def test_parallel_and_cached_runs_match_serial(tmp_path):
+    scenario = _tiny()
+    serial = run_topology_zoo(scenario)
+    parallel = run_topology_zoo(scenario, engine=SweepEngine(jobs=2))
+    assert parallel.digest() == serial.digest()
+    cache = RunCache(str(tmp_path / "cache"))
+    cold_engine = SweepEngine(cache=cache)
+    cold = run_topology_zoo(scenario, engine=cold_engine)
+    assert cold_engine.stats.misses == len(serial.rows)
+    warm_engine = SweepEngine(cache=cache)
+    warm = run_topology_zoo(scenario, engine=warm_engine)
+    assert warm_engine.stats.hits == len(serial.rows)
+    assert cold.digest() == serial.digest()
+    assert warm.digest() == serial.digest()
+
+
+def test_winners_exclude_the_centralized_oracle():
+    scenario = TopologyZooScenario(
+        families=("torus",),
+        algorithms=("diffusion", "centralized"),
+        schedules=("none",),
+        n_nodes=8,
+        rounds=24,
+    )
+    result = run_topology_zoo(scenario)
+    winners = result.winners()
+    assert winners[("torus", "none")]["algorithm"] == "diffusion"
+    with_oracle = result.winners(include_centralized=True)
+    assert with_oracle[("torus", "none")]["algorithm"] == "centralized"
+
+
+def test_report_and_json(tmp_path):
+    result = run_topology_zoo(_tiny())
+    report = result.report()
+    assert "Which decentralized LB wins where" in report
+    assert "reactive_residual" in report
+    assert result.digest() in report
+    path = tmp_path / "zoo.json"
+    result.save_json(str(path))
+    data = json.loads(path.read_text())
+    assert data["digest"] == result.digest()
+    assert len(data["rows"]) == 8
+    assert set(data["winners"]) == {
+        f"{family}/{schedule}"
+        for family in ("chain", "torus")
+        for schedule in ("none", "load_shock")
+    }
+
+
+def test_scenario_validation_and_quick_preset():
+    with pytest.raises(ValueError):
+        TopologyZooScenario(families=("klein_bottle",))
+    with pytest.raises(ValueError):
+        TopologyZooScenario(algorithms=("gradient_descent",))
+    with pytest.raises(ValueError):
+        TopologyZooScenario(schedules=("earthquake",))
+    quick = TopologyZooScenario.quick()
+    # The ISSUE 8 acceptance floor: the paper's scheme plus >= 4 zoo
+    # algorithms, >= 5 families, >= 2 fault schedules.
+    assert "reactive_residual" in quick.algorithms
+    assert len(quick.algorithms) >= 5
+    assert len(quick.families) >= 5
+    assert len(quick.schedules) >= 2
+
+
+def test_cli_topology_zoo_verb(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "zoo.json"
+    code = main(
+        [
+            "topology-zoo",
+            "--no-cache",
+            "--json",
+            str(out),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "Which decentralized LB wins where" in printed
+    data = json.loads(out.read_text())
+    assert data["rows"]
+    assert "digest" in data

@@ -1,0 +1,127 @@
+"""Property tests for the topology graph layer (ISSUE 8 tentpole)."""
+
+import networkx as nx
+import pytest
+
+from repro.topology.graphs import (
+    TOPOLOGY_FAMILIES,
+    Topology,
+    TopologySpec,
+    build_topology,
+    spec_for_family,
+)
+
+
+@pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+@pytest.mark.parametrize("n", [8, 16, 25])
+def test_generators_connected_and_well_formed(family, n):
+    topo = build_topology(spec_for_family(family, n, seed=2))
+    g = nx.Graph()
+    g.add_nodes_from(range(topo.n_nodes))
+    g.add_edges_from(topo.edges())
+    assert nx.is_connected(g)
+    # Integer nodes 0..n-1, canonical u < v edges, sorted neighbours.
+    for u, v in topo.edges():
+        assert 0 <= u < v < topo.n_nodes
+    for u in range(topo.n_nodes):
+        nbrs = topo.neighbors(u)
+        assert list(nbrs) == sorted(nbrs)
+        assert u not in nbrs
+        assert topo.degree(u) == len(nbrs)
+    assert topo.max_degree() < topo.n_nodes
+
+
+@pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+def test_generators_seed_deterministic(family):
+    spec = spec_for_family(family, 16, seed=7)
+    a = build_topology(spec)
+    b = build_topology(spec)
+    assert a.edges() == b.edges()
+    assert a.digest() == b.digest()
+
+
+@pytest.mark.parametrize("family", ["random_geometric", "expander"])
+def test_random_families_vary_with_seed(family):
+    a = build_topology(spec_for_family(family, 32, seed=0))
+    b = build_topology(spec_for_family(family, 32, seed=1))
+    assert a.edges() != b.edges()
+    assert a.digest() != b.digest()
+
+
+def test_digest_covers_edges_not_just_spec():
+    spec = spec_for_family("ring", 8)
+    topo = build_topology(spec)
+    digests = {build_topology(spec).digest() for _ in range(3)}
+    assert digests == {topo.digest()}
+    # Different families at the same size have different digests.
+    assert (
+        build_topology(spec_for_family("chain", 8)).digest()
+        != topo.digest()
+    )
+
+
+def test_spec_round_trip_and_validation():
+    spec = spec_for_family("torus", 16, seed=3)
+    again = TopologySpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.digest() == spec.digest()
+    with pytest.raises(ValueError):
+        TopologySpec(family="moebius", n=8)
+
+
+@pytest.mark.parametrize(
+    "family,expected_degree",
+    [("mesh2d", 4), ("torus", 4), ("hypercube", 4), ("mesh3d", 6)],
+)
+def test_degree_bounds(family, expected_degree):
+    topo = build_topology(spec_for_family(family, 16, seed=0))
+    assert topo.max_degree() <= expected_degree
+
+
+def test_hypercube_requires_power_of_two():
+    with pytest.raises(ValueError):
+        build_topology(TopologySpec(family="hypercube", n=12))
+    topo = build_topology(TopologySpec(family="hypercube", n=16))
+    assert all(topo.degree(u) == 4 for u in range(16))
+
+
+def test_hierarchy_link_classes():
+    topo = build_topology(spec_for_family("hierarchy", 16, seed=0))
+    classes = {topo.link_class(u, v) for u, v in topo.edges()}
+    assert classes == {"lan", "wan"}
+    assert topo.stats()["n_wan_edges"] > 0
+    # Non-hierarchy families are all-LAN.
+    flat = build_topology(spec_for_family("torus", 16, seed=0))
+    assert {flat.link_class(u, v) for u, v in flat.edges()} == {"lan"}
+
+
+def test_chain_is_path_and_path_neighbor():
+    topo = Topology.chain(5)
+    assert topo.is_path()
+    assert topo.path_neighbor(0, "left") is None
+    assert topo.path_neighbor(0, "right") == 1
+    assert topo.path_neighbor(4, "right") is None
+    assert topo.path_neighbor(3, "left") == 2
+    with pytest.raises(ValueError):
+        topo.path_neighbor(2, "up")
+    ring = build_topology(spec_for_family("ring", 8))
+    assert not ring.is_path()
+    with pytest.raises(ValueError):
+        ring.path_neighbor(0, "left")
+
+
+def test_stats_include_family_and_label():
+    topo = build_topology(spec_for_family("expander", 16, seed=1))
+    stats = topo.stats()
+    assert stats["family"] == "expander"
+    assert stats["label"] == "expander[16]"
+    assert stats["connected"]
+
+
+def test_disconnected_edge_set_rejected():
+    spec = TopologySpec(family="chain", n=4)
+    g = nx.Graph()
+    g.add_nodes_from(range(4))
+    g.add_edge(0, 1)
+    with pytest.raises(ValueError):
+        Topology(spec, g)
