@@ -47,6 +47,7 @@ from repro.balancing.zoo import (
     ZOO_ALGORITHMS,
     ZOO_SCHEDULES,
     TriggerPolicy,
+    ValueCorruption,
     ZooFaultSchedule,
     ZooParams,
     ZooRunResult,
@@ -76,6 +77,7 @@ __all__ = [
     "ZOO_ALGORITHMS",
     "ZOO_SCHEDULES",
     "TriggerPolicy",
+    "ValueCorruption",
     "ZooFaultSchedule",
     "ZooParams",
     "ZooRunResult",

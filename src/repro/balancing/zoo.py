@@ -10,7 +10,8 @@ faults** — the "which LB wins where" table of ROADMAP item 2:
   fault window has taken down) and the load vector, propose *edge
   transfers*;
 * a round-based driver advances a deterministic fault timeline
-  (:func:`make_zoo_schedule`: outages, link flaps, load shocks), applies
+  (:func:`make_zoo_schedule`: outages, link flaps, load shocks, lying
+  load sensors), applies
   the SPARTA-style **trigger policy** (rebalance every ``check_every``
   rounds *only if* the imbalance ratio exceeds ``threshold`` —
   SNIPPETS.md, ``fix balance Nevery thresh``), applies the proposed
@@ -49,6 +50,7 @@ __all__ = [
     "LoadShock",
     "NodeOutage",
     "TriggerPolicy",
+    "ValueCorruption",
     "ZooFaultSchedule",
     "ZooParams",
     "ZooRunResult",
@@ -68,7 +70,9 @@ ZOO_ALGORITHMS = (
 )
 
 #: Named fault timelines ``make_zoo_schedule`` builds.
-ZOO_SCHEDULES = ("none", "load_shock", "node_outage", "link_flap")
+ZOO_SCHEDULES = (
+    "none", "load_shock", "node_outage", "link_flap", "value_corruption",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -173,6 +177,26 @@ class LoadShock:
 
 
 @dataclass(frozen=True)
+class ValueCorruption:
+    """Node ``node``'s *reported* load reads ``factor`` times its true
+    load for rounds ``[start, end)`` — a lying load sensor.
+
+    Only the measurement channel is corrupted: every observer (the
+    trigger policy and all adapters, including the node itself) sees the
+    lie, while the true load — what transfers actually move — is
+    untouched and stays conserved.  ``factor > 1`` makes the node look
+    crushed (spurious triggers, neighbours refuse it load while it
+    drains itself); ``factor < 1`` makes it look idle (everyone dumps
+    load on it, and real imbalance can hide below the trigger
+    threshold)."""
+
+    node: int
+    start: int
+    end: int
+    factor: float
+
+
+@dataclass(frozen=True)
 class ZooFaultSchedule:
     """A named, immutable fault timeline for one zoo run."""
 
@@ -180,6 +204,7 @@ class ZooFaultSchedule:
     node_outages: tuple[NodeOutage, ...] = ()
     link_outages: tuple[LinkOutage, ...] = ()
     shocks: tuple[LoadShock, ...] = ()
+    corruptions: tuple[ValueCorruption, ...] = ()
 
 
 def make_zoo_schedule(
@@ -212,6 +237,22 @@ def make_zoo_schedule(
             name,
             node_outages=(NodeOutage(node, rounds // 4, rounds // 2),),
             shocks=(LoadShock(node, (5 * rounds) // 8, float(2.0 * n)),),
+        )
+    if name == "value_corruption":
+        # Two lying windows on distinct seeded nodes: first an
+        # over-reporter (8x — looks crushed), then an under-reporter
+        # (0.1x — looks idle), each spanning a fifth of the horizon.
+        nodes = rng.choice(n, size=min(2, n), replace=False)
+        return ZooFaultSchedule(
+            name,
+            corruptions=(
+                ValueCorruption(
+                    int(nodes[0]), rounds // 5, (2 * rounds) // 5, 8.0
+                ),
+                ValueCorruption(
+                    int(nodes[-1]), (3 * rounds) // 5, (4 * rounds) // 5, 0.1
+                ),
+            ),
         )
     if name == "link_flap":
         edges = topology.edges()
@@ -679,12 +720,24 @@ def run_zoo(
             load[shock.node] += shock.amount
             expected_total += shock.amount
         view = _active_view(topology, schedule, round_)
+        lies = [
+            c for c in schedule.corruptions if c.start <= round_ < c.end
+        ]
+        # Decisions (trigger + adapters) see the reported loads; the
+        # transfers they propose move the *true* loads.  Lies can make a
+        # node promise more than it holds, so the outflow limiter is
+        # forced on whenever a corruption window is open.
+        reported = load
+        if lies:
+            reported = load.copy()
+            for lie in lies:
+                reported[lie.node] *= lie.factor
         if round_ % trigger.check_every == 0:
             result.checks += 1
-            if _imbalance(load, view.up) > trigger.threshold:
+            if _imbalance(reported, view.up) > trigger.threshold:
                 result.triggers += 1
-                transfers = adapter.step(view, load)
-                if adapter.needs_limiter:
+                transfers = adapter.step(view, reported)
+                if adapter.needs_limiter or lies:
                     transfers = _limit_outflow(load, transfers)
                 for u, v, amount in transfers:
                     load[u] -= amount

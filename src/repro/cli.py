@@ -7,6 +7,7 @@ Usage::
     python -m repro figures-1-4
     python -m repro models
     python -m repro resilience [--full] [--json BENCH_resilience.json]
+    python -m repro integrity [--full] [--check] [--json BENCH_integrity.json]
     python -m repro soak [--schedules N] [--seed S] [--out-dir DIR]
     python -m repro ablations [--only period,estimator,...]
     python -m repro bench-compare OLD.json NEW.json [--threshold 0.1]
@@ -115,6 +116,43 @@ def _resilience(args: argparse.Namespace) -> str:
     if args.json:
         result.save_json(args.json)
         report += f"\nresilience report written to {args.json}"
+    return report + f"\n[{engine.stats.summary()}]"
+
+
+def _integrity(args: argparse.Namespace) -> str:
+    from repro.experiments import run_integrity
+    from repro.workloads import IntegrityScenario
+
+    if args.full:
+        scenario = IntegrityScenario()
+    elif args.tiny:
+        scenario = IntegrityScenario.tiny()
+    else:
+        scenario = IntegrityScenario.quick()
+    engine = _engine_for(args)
+    result = run_integrity(scenario, engine=engine)
+    report = result.report()
+    if args.json:
+        result.save_json(args.json)
+        report += f"\nintegrity report written to {args.json}"
+    if args.check:
+        wrong = result.wrong_detected_rows()
+        mismatched = result.clean_arm_mismatches()
+        if wrong or mismatched:
+            print(report)
+            problems = []
+            if wrong:
+                problems.append(
+                    f"{len(wrong)} undetected wrong answer(s) with "
+                    "detection armed"
+                )
+            if mismatched:
+                problems.append(
+                    "zero-corruption rows differ between arms for "
+                    + ", ".join(mismatched)
+                )
+            raise SystemExit("integrity gate failed: " + "; ".join(problems))
+        report += "\nintegrity gate passed"
     return report + f"\n[{engine.stats.summary()}]"
 
 
@@ -470,6 +508,7 @@ def _list(args: argparse.Namespace) -> str:
             "figures-1-4  SISC/SIAC/AIAC execution flows (paper Figures 1-4)",
             "models       cluster vs grid model comparison (paper §6)",
             "resilience   execution models under injected faults",
+            "integrity    silent-corruption injection vs detection/recovery",
             "topology-zoo LB algorithms x topologies x fault schedules",
             "soak         chaos soak: random fault schedules under repro.guard",
             f"ablations    design-knob sweeps: {', '.join(sorted(_ABLATIONS))}",
@@ -573,6 +612,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the report (rows + digest) to this JSON file",
     )
     _add_engine_flags(resilience_cmd)
+
+    integrity_cmd = sub.add_parser(
+        "integrity",
+        help="silent-corruption injection vs detection and recovery",
+    )
+    integrity_cmd.set_defaults(handler=_integrity)
+    integrity_cmd.add_argument(
+        "--full",
+        action="store_true",
+        help="all corruption schedules instead of the quick subset",
+    )
+    integrity_cmd.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smallest sweep (clean baseline + one payload schedule)",
+    )
+    integrity_cmd.add_argument(
+        "--json",
+        default="",
+        help="also write the report (rows + digest) to this JSON file",
+    )
+    integrity_cmd.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on any undetected wrong answer in the detect "
+        "arm, or if zero-corruption rows differ between arms",
+    )
+    _add_engine_flags(integrity_cmd)
 
     zoo_cmd = sub.add_parser(
         "topology-zoo",

@@ -38,9 +38,10 @@ from repro.core.records import RunResult
 from repro.des import Hold, Signal, Simulator, Wait
 from repro.grid.platform import Platform
 from repro.problems.base import Problem
+from repro.integrity import checkpoint_crc, corrupt_array_inplace
 from repro.runtime.message import Message
 from repro.runtime.node import GridNode
-from repro.runtime.tracer import IterationSpan, ResidualRecord, Tracer
+from repro.runtime.tracer import FaultRecord, IterationSpan, ResidualRecord, Tracer
 from repro.topology.graphs import Topology
 
 __all__ = ["ChainRun", "RankContext", "run_aiac", "build_chain"]
@@ -82,6 +83,11 @@ class RankContext:
     #: Last durable snapshot of the rank's block (fault injection only;
     #: None on the lossless fast path).
     checkpoint: Any = None
+    #: The snapshot superseded by the latest one.  Kept so that a
+    #: checkpoint whose CRC verification fails (poisoned at rest) can
+    #: fall back to the last *verified* snapshot instead of
+    #: resurrecting bad state.
+    checkpoint_prev: Any = None
     #: ``node.crash_count`` value the current in-memory state descends
     #: from; a mismatch means a crash wiped the state and the last
     #: checkpoint must be restored.
@@ -254,8 +260,13 @@ class ChainRun:
         *every* migration event, so the snapshot's block bounds always
         equal the live ones — a restore never rolls back the partition
         bookkeeping, only the numerical state.
+
+        When the attached injector's detection layer is armed the
+        snapshot is CRC-stamped (:func:`repro.integrity.checkpoint_crc`)
+        and the superseded snapshot is retained as the fall-back restore
+        point — rollback must land on *verified* state.
         """
-        ctx.checkpoint = {
+        snapshot = {
             "iteration": ctx.iteration,
             "state": self.problem.copy_state(ctx.state),
             "lo": ctx.lo,
@@ -266,15 +277,91 @@ class ChainRun:
             "halo_iter_right": ctx.halo_iter_right,
             "estimator": copy.deepcopy(ctx.estimator),
         }
+        if self.injector is not None and self.injector.detection_active:
+            snapshot["crc"] = self._checkpoint_crc(snapshot)
+            ctx.checkpoint_prev = ctx.checkpoint
+        ctx.checkpoint = snapshot
+
+    def _checkpoint_crc(self, snapshot: dict) -> int:
+        """CRC of a snapshot, state values included via the problem view."""
+        return checkpoint_crc(
+            snapshot, self.problem.state_array(snapshot["state"])
+        )
+
+    def _verified_snapshot(self, ctx: RankContext) -> dict:
+        """The freshest checkpoint that passes CRC verification.
+
+        Unstamped snapshots (detection off, or taken by the divergence
+        guard on an unfaulted run) are trusted as-is.  A stamped
+        snapshot that fails its CRC was poisoned at rest: it is
+        discarded — counted as a detected corruption — in favour of the
+        retained previous verified snapshot.  With no verified snapshot
+        left, the block is *re-initialized* from the problem's initial
+        data: a fixed-point iteration converges from any start, so a
+        cold block restart is sound recovery — corrupted state is never
+        silently restored.
+        """
+        injector = self.injector
+        snap = ctx.checkpoint
+        if (
+            injector is None
+            or not injector.detection_active
+            or snap is None
+            or snap.get("crc") is None
+            or self._checkpoint_crc(snap) == snap["crc"]
+        ):
+            return snap
+        injector.stats["corruptions_detected"] += 1
+        self.tracer.fault(
+            FaultRecord(
+                kind="corruption_detected",
+                time=self.sim.now,
+                t_end=self.sim.now,
+                rank=ctx.rank,
+                detail="checkpoint CRC mismatch",
+            )
+        )
+        prev = ctx.checkpoint_prev
+        if (
+            prev is not None
+            and (prev["lo"], prev["hi"]) == (snap["lo"], snap["hi"])
+            and (
+                prev.get("crc") is None
+                or self._checkpoint_crc(prev) == prev["crc"]
+            )
+        ):
+            ctx.checkpoint = prev
+            ctx.checkpoint_prev = None
+            injector.note_corruption_recovered(
+                ctx.rank, "fell back to last verified checkpoint"
+            )
+            return prev
+        fresh = dict(snap)
+        fresh["iteration"] = 0
+        fresh["state"] = self.problem.initial_state(snap["lo"], snap["hi"])
+        fresh["halo_left"] = self.problem.initial_halo(snap["lo"] - 1)
+        fresh["halo_right"] = self.problem.initial_halo(snap["hi"])
+        fresh["halo_iter_left"] = -1
+        fresh["halo_iter_right"] = -1
+        fresh["crc"] = self._checkpoint_crc(
+            {k: v for k, v in fresh.items() if k != "crc"}
+        )
+        ctx.checkpoint = fresh
+        ctx.checkpoint_prev = None
+        injector.note_corruption_recovered(
+            ctx.rank, "re-initialized block from problem initial data"
+        )
+        return fresh
 
     def restore_checkpoint(self, ctx: RankContext) -> None:
-        """Rejoin after a crash: reload the last checkpoint."""
+        """Rejoin after a crash: reload the last *verified* checkpoint."""
         snap = ctx.checkpoint
         if snap is None:
             raise RuntimeError(
                 f"rank {ctx.rank} crashed but has no checkpoint; "
                 "was the injector attached via attach_injector()?"
             )
+        snap = self._verified_snapshot(ctx)
         if (ctx.lo, ctx.hi) != (snap["lo"], snap["hi"]):
             # Checkpoints are refreshed at every migration, so the live
             # and snapshotted bounds can never diverge; a mismatch means
@@ -299,6 +386,30 @@ class ChainRun:
         self.monitor.reset_rank(ctx.rank)
         if self.detector is not None:
             self.detector.reset_rank(ctx.rank)
+
+    def corrupt_block(self, fault: Any, rng: Any) -> str | None:
+        """Apply a :class:`~repro.faults.models.StateCorruption` event.
+
+        Called by the injector's compiled DES event.  ``target="state"``
+        poisons the live block values in place (resident-memory upset);
+        ``target="checkpoint"`` poisons the saved snapshot *without*
+        refreshing its CRC, so a later restore sees the mismatch.
+        Returns a damage description, or None when there is nothing to
+        poison (dead host; no checkpoint yet; opaque state layout).
+        """
+        ctx = self.ranks[fault.rank]
+        if fault.target == "checkpoint":
+            snap = ctx.checkpoint
+            if snap is None:
+                return None
+            target = self.problem.state_array(snap["state"])
+        else:
+            if not ctx.node.alive:
+                return None
+            target = self.problem.state_array(ctx.state)
+        if target is None or target.size == 0:
+            return None
+        return corrupt_array_inplace(target, fault.mode, fault.amplitude, rng)
 
     def _register_halo_handlers(self, ctx: RankContext) -> None:
         # Halo payloads are idempotent state transfer: under the

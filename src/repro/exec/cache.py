@@ -13,10 +13,14 @@ Layout
 ------
 ``{root}/{digest[:2]}/{digest}.json`` — one small JSON envelope per run::
 
-    {"schema": "repro-exec-cache/1", "digest": ..., "key": ..., "payload": ...}
+    {"schema": "repro-exec-cache/2", "digest": ..., "key": ...,
+     "payload": ..., "crc": ...}
 
 ``key`` is the full cache-key material (kept for debuggability: a cache
-entry is self-describing), ``payload`` the task's JSON result.
+entry is self-describing), ``payload`` the task's JSON result, ``crc``
+a CRC32 over the payload's canonical JSON — the at-rest integrity
+stamp: a bit-rotted payload reads back as a *miss*, never as a wrong
+cached answer.
 
 Invalidation
 ------------
@@ -34,8 +38,8 @@ full scenario ``asdict``.
 Corruption tolerance
 --------------------
 A cache read that fails for *any* reason — missing file, truncated or
-garbage JSON, wrong schema, foreign digest — is a miss: the engine
-recomputes and overwrites the entry.  Writes go through a temp file +
+garbage JSON, wrong schema, foreign digest, payload CRC mismatch — is
+a miss: the engine recomputes and overwrites the entry.  Writes go through a temp file +
 :func:`os.replace`, so a crashed writer never leaves a half-written
 entry under the final name; write errors (read-only filesystem, full
 disk) are swallowed because the cache is strictly an accelerator.
@@ -63,6 +67,7 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Any
 
 from repro.analysis.perf import stable_digest
@@ -76,7 +81,10 @@ __all__ = [
     "code_salt",
 ]
 
-CACHE_SCHEMA = "repro-exec-cache/1"
+#: v2 adds the per-entry payload ``crc``.  The schema string is part of
+#: :func:`code_salt`, so every v1 entry self-invalidates on upgrade —
+#: no migration or mixed-schema reads to handle.
+CACHE_SCHEMA = "repro-exec-cache/2"
 
 #: Bump when a code change alters cached results without changing any
 #: scenario/config field (e.g. a solver numerics fix).
@@ -97,6 +105,15 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Sentinel distinguishing "miss" from a cached ``None`` payload.
 _MISS = object()
+
+
+def _payload_crc(payload: Any) -> int:
+    """CRC32 of a payload's canonical (sorted, compact) JSON bytes."""
+    return zlib.crc32(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+    )
 
 
 def code_salt() -> str:
@@ -169,6 +186,8 @@ class RunCache:
             if envelope["digest"] != digest:
                 return False, None
             payload = envelope["payload"]
+            if envelope["crc"] != _payload_crc(payload):
+                return False, None
         except (OSError, ValueError, KeyError, TypeError):
             return False, None
         if self.max_bytes is not None:
@@ -189,6 +208,7 @@ class RunCache:
             "digest": digest,
             "key": key,
             "payload": payload,
+            "crc": _payload_crc(payload),
         }
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)

@@ -13,6 +13,7 @@ from repro.experiments.models_comparison import (
     ModelsComparisonResult,
     run_models_comparison,
 )
+from repro.experiments.integrity import IntegrityResult, run_integrity
 from repro.experiments.resilience import ResilienceResult, run_resilience
 from repro.experiments.topology_zoo import (
     TopologyZooResult,
@@ -29,6 +30,8 @@ __all__ = [
     "TraceFiguresResult",
     "run_models_comparison",
     "ModelsComparisonResult",
+    "run_integrity",
+    "IntegrityResult",
     "run_resilience",
     "ResilienceResult",
     "run_topology_zoo",

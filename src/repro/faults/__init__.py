@@ -3,11 +3,14 @@
 ``repro.faults`` models the failure modes of the paper's target
 environment — the computational grid, where "the network can be cut" and
 machines slow down or disappear — as declarative, seeded fault schedules
-compiled into DES events.  See ``docs/faults.md``.
+compiled into DES events.  See ``docs/faults.md``.  The corruption
+family (payload/state/storage) and its detection layer are documented in
+``docs/robustness.md`` ("Data integrity").
 """
 
 from repro.faults.injector import FaultInjector
 from repro.faults.models import (
+    CORRUPTION_MODES,
     FAULT_TYPES,
     FaultSchedule,
     HostCrash,
@@ -17,7 +20,10 @@ from repro.faults.models import (
     MessageDuplication,
     MessageLoss,
     MessageReordering,
+    PayloadCorruption,
     ResilienceConfig,
+    StateCorruption,
+    StorageCorruption,
 )
 
 __all__ = [
@@ -31,5 +37,9 @@ __all__ = [
     "HostCrash",
     "HostSlowdown",
     "LatencySpike",
+    "PayloadCorruption",
+    "StateCorruption",
+    "StorageCorruption",
     "FAULT_TYPES",
+    "CORRUPTION_MODES",
 ]

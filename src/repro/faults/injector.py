@@ -36,14 +36,18 @@ from repro.faults.models import (
     MessageDuplication,
     MessageLoss,
     MessageReordering,
+    PayloadCorruption,
+    StateCorruption,
+    StorageCorruption,
 )
+from repro.integrity import corrupt_payload
+from repro.runtime.message import Message
 from repro.runtime.tracer import FaultRecord
 from repro.util.rng import RngTree
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.solver import ChainRun
     from repro.obs.registry import MetricsRegistry
-    from repro.runtime.message import Message
     from repro.runtime.node import GridNode
 
 __all__ = ["FaultInjector"]
@@ -59,6 +63,9 @@ _STAT_KEYS = (
     "sends_failed",
     "crashes",
     "restarts",
+    "corruptions_injected",
+    "corruptions_detected",
+    "corruption_rollbacks",
 )
 
 
@@ -95,8 +102,31 @@ class FaultInjector:
         self._timed = [
             f
             for f in faults
-            if isinstance(f, (HostCrash, HostSlowdown, LatencySpike))
+            if isinstance(f, (HostCrash, HostSlowdown, LatencySpike, StateCorruption))
         ]
+        self._payload_corruptions = [
+            f for f in faults if isinstance(f, PayloadCorruption)
+        ]
+        self._storage_corruptions = [
+            f for f in faults if isinstance(f, StorageCorruption)
+        ]
+        has_corruption = bool(self._payload_corruptions) or any(
+            isinstance(f, StateCorruption) for f in faults
+        )
+        #: Corruption stream exists only when a corruption fault is
+        #: scheduled: the zero-corruption path makes no extra draws and
+        #: stays byte-identical to the pre-integrity codebase.
+        self._corrupt_rng = (
+            self._rng.generator("corruption") if has_corruption else None
+        )
+        #: The transport consults these flags on its hot path.
+        self.corrupts_payloads = bool(self._payload_corruptions)
+        #: Detection layer armed: checksums stamped/verified, checkpoint
+        #: CRCs enforced, plausibility guard live.  Off either because no
+        #: corruption fault is scheduled (nothing to detect — zero
+        #: behavioural drift) or because the scenario's escaped-corruption
+        #: arm disabled it (``ResilienceConfig.integrity_checks=False``).
+        self.detection_active = has_corruption and self.resilience.integrity_checks
         self.run: "ChainRun | None" = None
         self.sim = None
         self.tracer = None
@@ -108,6 +138,11 @@ class FaultInjector:
         """Attach to ``run``: wire nodes, compile events, start beacons."""
         if self.run is not None:
             raise RuntimeError("FaultInjector is already installed")
+        if self._storage_corruptions:
+            raise ValueError(
+                "StorageCorruption damages at-rest files, not a simulation "
+                "run; apply it with repro.integrity.corrupt_file"
+            )
         self.run = run
         self.sim = run.sim
         self.tracer = run.tracer
@@ -147,7 +182,7 @@ class FaultInjector:
     def _validate_ranks(self, n_ranks: int) -> None:
         for fault in self.schedule.faults:
             ranks: tuple[int, ...] = ()
-            if isinstance(fault, (HostCrash, HostSlowdown)):
+            if isinstance(fault, (HostCrash, HostSlowdown, StateCorruption)):
                 ranks = (fault.rank,)
             elif isinstance(fault, LinkPartition):
                 ranks = fault.ranks_a + fault.ranks_b
@@ -159,12 +194,14 @@ class FaultInjector:
                     )
 
     def _compile_timed(
-        self, fault: "HostCrash | HostSlowdown | LatencySpike"
+        self, fault: "HostCrash | HostSlowdown | LatencySpike | StateCorruption"
     ) -> None:
         sim = self.sim
         assert sim is not None and self.run is not None
         if isinstance(fault, HostCrash):
             sim.at(fault.at, self._crash, fault)
+        elif isinstance(fault, StateCorruption):
+            sim.at(fault.at, self._corrupt_state, fault)
         elif isinstance(fault, HostSlowdown):
             host = self.run.ranks[fault.rank].node.host
             base = host.speed
@@ -263,6 +300,25 @@ class FaultInjector:
         # resumes iterating.
         node.restart_signal.trigger(self.sim)
 
+    def _corrupt_state(self, fault: StateCorruption) -> None:
+        """Poison one rank's live block (or checkpoint) at ``fault.at``."""
+        assert self.run is not None and self.sim is not None
+        assert self._corrupt_rng is not None
+        detail = self.run.corrupt_block(fault, self._corrupt_rng)
+        if detail is None:
+            return  # nothing to poison (dead host, no checkpoint yet)
+        self.stats["corruptions_injected"] += 1
+        now = self.sim.now
+        self.tracer.fault(
+            FaultRecord(
+                kind="state_corruption",
+                time=now,
+                t_end=now,
+                rank=fault.rank,
+                detail=f"{fault.target}: {detail}",
+            )
+        )
+
     @staticmethod
     def _set_speed(host, speed: float) -> None:
         host.speed = speed
@@ -338,6 +394,111 @@ class FaultInjector:
                 self.stats["acks_dropped"] += 1
                 return True
         return False
+
+    def corrupt_delivery(self, message: "Message") -> "Message":
+        """Maybe damage the wire copy about to be handed to the receiver.
+
+        Consulted once per delivery when payload corruption is armed.
+        Returns ``message`` unchanged (no fault fired, or the payload
+        had nothing corruptible), or a payload-damaged *copy* — the
+        transfer's buffered original stays pristine, so a retransmission
+        after a checksum reject delivers clean data.  The copy keeps the
+        original's checksum: that mismatch is exactly what the receiver
+        detects.
+        """
+        now = self.sim.now
+        rng = self._corrupt_rng
+        assert rng is not None
+        for fault in self._payload_corruptions:
+            if fault.matches(message.kind, now) and float(rng.random()) < fault.rate:
+                damaged, detail = corrupt_payload(
+                    message.payload, fault.mode, fault.amplitude, rng
+                )
+                if detail is None:
+                    return message
+                self.stats["corruptions_injected"] += 1
+                self.tracer.fault(
+                    FaultRecord(
+                        kind="payload_corruption",
+                        time=now,
+                        t_end=now,
+                        rank=message.dst_rank,
+                        detail=f"{message.kind} from {message.src_rank}: {detail}",
+                    )
+                )
+                return Message(
+                    kind=message.kind,
+                    payload=damaged,
+                    size_bytes=message.size_bytes,
+                    src_rank=message.src_rank,
+                    dst_rank=message.dst_rank,
+                    send_time=message.send_time,
+                    arrival_time=message.arrival_time,
+                    seq=message.seq,
+                    attempt=message.attempt,
+                    checksum=message.checksum,
+                )
+        return message
+
+    def ack_corrupted(
+        self, dst: "GridNode", src: "GridNode", message: "Message"
+    ) -> bool:
+        """Whether the ack for ``message`` is corrupted in flight.
+
+        Like ack loss, only *unfiltered* payload-corruption faults apply
+        (kind-restricted faults target payload kinds).  With detection
+        armed the sender discards the mangled ack — indistinguishable
+        from a lost one, so the retransmit/dedup machinery recovers and
+        the event counts as detected.  With detection off the ack is
+        accepted as-is: acks carry no values, so the corruption is
+        structurally masked.
+        """
+        if not self._payload_corruptions:
+            return False
+        now = self.sim.now
+        rng = self._corrupt_rng
+        assert rng is not None
+        for fault in self._payload_corruptions:
+            if (
+                fault.kinds is None
+                and fault.t0 <= now <= fault.t1
+                and float(rng.random()) < fault.rate
+            ):
+                self.stats["corruptions_injected"] += 1
+                if self.detection_active:
+                    self.stats["corruptions_detected"] += 1
+                    self.stats["acks_dropped"] += 1
+                    return True
+                return False
+        return False
+
+    def note_corruption_detected(self, message: "Message") -> None:
+        """The receiver's checksum rejected a delivery (treated as loss)."""
+        self.stats["corruptions_detected"] += 1
+        now = self.sim.now
+        self.tracer.fault(
+            FaultRecord(
+                kind="corruption_detected",
+                time=now,
+                t_end=now,
+                rank=message.dst_rank,
+                detail=f"{message.kind} from {message.src_rank} rejected",
+            )
+        )
+
+    def note_corruption_recovered(self, rank: int, detail: str) -> None:
+        """A detected corruption was repaired by rollback/refetch."""
+        self.stats["corruption_rollbacks"] += 1
+        now = self.sim.now
+        self.tracer.fault(
+            FaultRecord(
+                kind="corruption_rollback",
+                time=now,
+                t_end=now,
+                rank=rank,
+                detail=detail,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Transport policy

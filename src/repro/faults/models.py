@@ -15,6 +15,13 @@ Taxonomy (see ``docs/faults.md``)
   :class:`HostCrash` (with optional restart after a downtime
   distribution), :class:`HostSlowdown` (stepwise ramp),
   :class:`LatencySpike`.
+* **Corruption faults** (see ``docs/robustness.md``, *Data integrity*):
+  :class:`PayloadCorruption` (in-flight value damage, consulted per
+  delivery), :class:`StateCorruption` (in-memory block/checkpoint
+  poisoning at a virtual time), :class:`StorageCorruption` (byte-level
+  damage to at-rest artifacts — serve WAL, audit log, run cache; pure
+  data here, applied by :func:`repro.integrity.corrupt_file`, never
+  compiled into DES events).
 
 Determinism: all randomness (loss coin flips, extra reorder delays,
 downtime draws, retry jitter) comes from named
@@ -45,8 +52,12 @@ __all__ = [
     "HostCrash",
     "HostSlowdown",
     "LatencySpike",
+    "PayloadCorruption",
+    "StateCorruption",
+    "StorageCorruption",
     "FaultSchedule",
     "FAULT_TYPES",
+    "CORRUPTION_MODES",
 ]
 
 
@@ -85,6 +96,16 @@ class ResilienceConfig:
         drop-starved rank quiesces against its frozen boundary, its
         residual collapses, and detection can declare a wrong solution
         converged.
+    integrity_checks:
+        Arms the detection half of the data-integrity layer when a
+        corruption fault is scheduled: per-message checksums
+        (verify-on-receive, mismatch treated as loss so the retransmit
+        path re-requests), CRC-stamped checkpoints (verified before any
+        restore), and the numerical-plausibility guard.  ``False``
+        measures what asynchronism *silently absorbs* — the
+        escaped-corruption arm of ``repro integrity``.  With no
+        corruption fault scheduled this flag is inert: checksums are
+        never stamped and the fault-free byte-stream is unchanged.
     """
 
     ack_bytes: float = 32.0
@@ -98,6 +119,7 @@ class ResilienceConfig:
     protocol_timeout: float = 30.0
     checkpoint_every: int = 20
     max_halo_staleness: int = 10
+    integrity_checks: bool = True
 
     def __post_init__(self) -> None:
         check_non_negative("ack_bytes", self.ack_bytes)
@@ -306,6 +328,109 @@ class LatencySpike:
             raise ValueError(f"spike factor must be > 1, got {self.factor}")
 
 
+#: Value-damage modes shared by the corruption fault models.
+#: ``bitflip`` flips one mantissa bit of one float (a hardware upset);
+#: ``perturb`` adds a relative error of size ``amplitude`` (an analog
+#: glitch / torn half-write); ``truncate`` drops a payload field
+#: entirely (a short read).
+CORRUPTION_MODES = ("bitflip", "perturb", "truncate")
+
+
+def _check_mode(mode: str, allowed: tuple[str, ...] = CORRUPTION_MODES) -> None:
+    if mode not in allowed:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; choose from {allowed}"
+        )
+
+
+@dataclass(frozen=True)
+class PayloadCorruption:
+    """Silently damage a delivered message's values with probability
+    ``rate``.
+
+    Consulted once per *delivery* (not per transmission attempt): the
+    wire copy that reaches the receiver carries corrupted numbers while
+    the sender's buffered original stays pristine — exactly the fault a
+    checksum + retransmit protocol can recover from.  ``kinds`` and the
+    ``[t0, t1]`` window filter like :class:`MessageLoss`; ``mode``
+    selects the damage (``bitflip``/``perturb``/``truncate``) and
+    ``amplitude`` scales the relative error of ``perturb``.
+    """
+
+    rate: float
+    t0: float = 0.0
+    t1: float = math.inf
+    kinds: tuple[str, ...] | None = None
+    mode: str = "bitflip"
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_in_range("rate", self.rate, 0.0, 1.0)
+        _check_window(self.t0, self.t1)
+        _check_mode(self.mode)
+        check_positive("amplitude", self.amplitude)
+
+    matches = MessageLoss.matches
+
+
+@dataclass(frozen=True)
+class StateCorruption:
+    """Poison one rank's in-memory solver block (or its checkpoint) at
+    virtual time ``at`` — the resident-memory upset that no transport
+    checksum can see.
+
+    ``target="state"`` damages the live block values (caught, if at
+    all, by the numerical-plausibility guard); ``target="checkpoint"``
+    damages the saved snapshot so a later restore would resurrect bad
+    state (caught by the checkpoint CRC before any rollback).
+    """
+
+    rank: int
+    at: float
+    target: str = "state"
+    mode: str = "perturb"
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("rank", self.rank)
+        check_non_negative("at", self.at)
+        if self.target not in ("state", "checkpoint"):
+            raise ValueError(
+                f"unknown state-corruption target {self.target!r}; "
+                "choose from ('state', 'checkpoint')"
+            )
+        _check_mode(self.mode, ("bitflip", "perturb"))
+        check_positive("amplitude", self.amplitude)
+
+
+@dataclass(frozen=True)
+class StorageCorruption:
+    """Byte-level damage to an at-rest artifact: the serve WAL, the
+    audit log, or a run-cache envelope.
+
+    Unlike every other model this one never compiles into a DES event —
+    :class:`~repro.faults.injector.FaultInjector` rejects a schedule
+    that arms one against a run.  It is pure declarative data consumed
+    by :func:`repro.integrity.corrupt_file`, which flips ``n_bytes``
+    seeded random bytes (or bytes starting at ``offset`` when given) in
+    the target file.
+    """
+
+    target: str
+    n_bytes: int = 1
+    offset: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.target not in ("wal", "audit", "cache"):
+            raise ValueError(
+                f"unknown storage-corruption target {self.target!r}; "
+                "choose from ('wal', 'audit', 'cache')"
+            )
+        check_positive("n_bytes", self.n_bytes)
+        if self.offset is not None:
+            check_non_negative("offset", self.offset)
+
+
 #: Registry for (de)serialisation; keys are the ``type`` field of the
 #: dict form.
 FAULT_TYPES: dict[str, type] = {
@@ -316,6 +441,9 @@ FAULT_TYPES: dict[str, type] = {
     "host_crash": HostCrash,
     "host_slowdown": HostSlowdown,
     "latency_spike": LatencySpike,
+    "payload_corruption": PayloadCorruption,
+    "state_corruption": StateCorruption,
+    "storage_corruption": StorageCorruption,
 }
 _TYPE_NAMES = {cls: name for name, cls in FAULT_TYPES.items()}
 

@@ -20,6 +20,11 @@ executes instead of trusting them:
   guard that rolls a blowing-up rank back to its checkpoint instead of
   propagating NaNs (see also
   :func:`repro.numerics.newton.newton_batched_2x2_guarded`).
+* :class:`PlausibilityGuard` — numerical screens (NaN/Inf, out-of-domain
+  magnitudes, implausible residual jumps) that engage only while an
+  attached fault injector has its corruption-detection layer armed,
+  rolling poisoned in-memory state back to the last verified checkpoint
+  (the data-integrity layer, ``docs/robustness.md``).
 * :mod:`repro.guard.soak` — seeded random :class:`FaultSchedule`
   generation, a SISC/SIAC/AIAC ± LB soak runner asserting every
   invariant plus final-answer agreement with the fault-free run, and a
@@ -36,6 +41,7 @@ from repro.guard.invariants import (
     InvariantMonitor,
     InvariantViolation,
 )
+from repro.guard.plausibility import PlausibilityGuard
 from repro.guard.soak import (
     SoakFailure,
     SoakResult,
@@ -50,6 +56,7 @@ __all__ = [
     "GuardConfig",
     "InvariantMonitor",
     "InvariantViolation",
+    "PlausibilityGuard",
     "StallReport",
     "SoakFailure",
     "SoakResult",

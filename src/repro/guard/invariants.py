@@ -45,6 +45,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.guard.plausibility import PlausibilityGuard
 from repro.guard.watchdogs import (
     DivergenceGuard,
     StallReport,
@@ -101,6 +102,14 @@ class GuardConfig:
         On unfaulted runs (no injector, so no periodic checkpoints)
         the guard refreshes each rank's rollback point every this many
         improving sweeps.  ``0`` disables refreshing.
+    value_bound:
+        Plausibility screen (armed-detection runs only, see
+        :class:`~repro.guard.plausibility.PlausibilityGuard`): any state
+        magnitude above this is treated as corruption.
+    residual_jump_factor:
+        Plausibility screen: a single sweep moving the residual more
+        than this factor above the previous sweep's is treated as
+        corruption (no patience — contrast ``divergence_factor``).
     """
 
     check_every: int = 64
@@ -110,6 +119,8 @@ class GuardConfig:
     divergence_factor: float = 1e4
     divergence_patience: int = 3
     rollback_refresh: int = 25
+    value_bound: float = 1e12
+    residual_jump_factor: float = 1e6
 
     def __post_init__(self) -> None:
         check_positive("check_every", self.check_every)
@@ -126,6 +137,10 @@ class GuardConfig:
             raise ValueError(
                 f"rollback_refresh must be >= 0, got {self.rollback_refresh}"
             )
+        check_positive("value_bound", self.value_bound)
+        check_in_range(
+            "residual_jump_factor", self.residual_jump_factor, 1.0, math.inf
+        )
 
 
 class InvariantMonitor:
@@ -141,6 +156,7 @@ class InvariantMonitor:
         self.stall_reports: list[StallReport] = []
         self.halt_verdict: dict[str, Any] | None = None
         self._divergence = DivergenceGuard(self.config)
+        self._plausibility = PlausibilityGuard(self.config)
         self._prev_transport: dict[int, dict[str, dict]] = {}
         #: Installed by the lockstep replay engine (which never calls
         #: :meth:`attach`): a callable performing the native halt
@@ -185,13 +201,30 @@ class InvariantMonitor:
     # Sweep hook (divergence watchdog; called from ChainRun.sweep)
     # ------------------------------------------------------------------
     def after_sweep(self, run: "ChainRun", ctx: "RankContext") -> bool:
-        """Inspect a fresh residual; True if the rank was rolled back."""
-        return self._divergence.after_sweep(run, ctx)
+        """Inspect a fresh residual; True if the rank was rolled back.
+
+        The divergence watchdog always runs.  The stricter plausibility
+        screen engages only when the run's fault injector has its
+        detection layer armed (a corruption fault is scheduled and
+        ``integrity_checks`` is on) — every other run, including all
+        pre-existing fault scenarios, keeps its exact behaviour.
+        """
+        if self._divergence.after_sweep(run, ctx):
+            return True
+        injector = run.injector
+        if injector is not None and injector.detection_active:
+            return self._plausibility.after_sweep(run, ctx)
+        return False
 
     @property
     def divergence_events(self) -> list[dict[str, Any]]:
         """Rollbacks performed by the divergence watchdog."""
         return self._divergence.events
+
+    @property
+    def plausibility_events(self) -> list[dict[str, Any]]:
+        """Rollbacks performed by the plausibility screen."""
+        return self._plausibility.events
 
     # ------------------------------------------------------------------
     # The invariant catalogue
@@ -433,5 +466,6 @@ class InvariantMonitor:
             "checks_run": self.checks_run,
             "stalls": len(self.stall_reports),
             "divergence_rollbacks": len(self.divergence_events),
+            "plausibility_rollbacks": len(self.plausibility_events),
             "halt_verdict": self.halt_verdict,
         }

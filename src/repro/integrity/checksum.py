@@ -1,0 +1,110 @@
+"""Structural CRC fingerprints for message payloads and checkpoints.
+
+A payload here is whatever the runtime puts on the wire: ``None``,
+scalars, strings, numpy arrays, and dicts/lists/tuples of those.  The
+checksum walks that structure deterministically (dict keys sorted,
+every node tagged with a type byte so ``[1]`` and ``(1,)`` and ``1``
+cannot collide structurally) and folds everything through ``zlib.crc32``
+— cheap, stdlib-only, and strong enough to catch the single-bit flips
+and field truncations :class:`~repro.faults.models.PayloadCorruption`
+injects.  This is corruption *detection*, not authentication: CRC32 is
+the right tool against hardware upsets and the wrong one against an
+adversary.
+
+Floats are folded by their IEEE-754 bit pattern (``struct.pack('<d')``)
+so the checksum distinguishes ``0.0``/``-0.0`` and every NaN payload a
+bit flip can produce — ``repr`` would alias them.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["payload_checksum", "checkpoint_crc"]
+
+
+def _mix(crc: int, tag: bytes, data: bytes = b"") -> int:
+    return zlib.crc32(data, zlib.crc32(tag, crc))
+
+
+def _update(crc: int, obj: Any) -> int:
+    if obj is None:
+        return _mix(crc, b"N")
+    if isinstance(obj, bool):  # before int: bool is an int subclass
+        return _mix(crc, b"b", b"\x01" if obj else b"\x00")
+    if isinstance(obj, (int, np.integer)):
+        return _mix(crc, b"i", str(int(obj)).encode())
+    if isinstance(obj, (float, np.floating)):
+        return _mix(crc, b"f", struct.pack("<d", float(obj)))
+    if isinstance(obj, str):
+        return _mix(crc, b"s", obj.encode())
+    if isinstance(obj, bytes):
+        return _mix(crc, b"y", obj)
+    if isinstance(obj, np.ndarray):
+        crc = _mix(crc, b"a", str(obj.dtype).encode())
+        crc = _mix(crc, b"#", repr(obj.shape).encode())
+        return _mix(crc, b"@", np.ascontiguousarray(obj).tobytes())
+    if isinstance(obj, dict):
+        crc = _mix(crc, b"d", str(len(obj)).encode())
+        for key in sorted(obj):
+            crc = _update(crc, key)
+            crc = _update(crc, obj[key])
+        return crc
+    if isinstance(obj, (list, tuple)):
+        crc = _mix(crc, b"l", str(len(obj)).encode())
+        for item in obj:
+            crc = _update(crc, item)
+        return crc
+    raise TypeError(
+        f"payload_checksum cannot fingerprint {type(obj).__name__!r}"
+    )
+
+
+def payload_checksum(payload: Any) -> int:
+    """CRC32 fingerprint of an arbitrary message payload."""
+    return _update(0, payload)
+
+
+def checkpoint_crc(
+    snapshot: dict[str, Any], state_array: np.ndarray | None = None
+) -> int:
+    """CRC over the *numerical* content of a solver checkpoint.
+
+    Checkpoints carry a few non-numeric helpers (a deep-copied
+    estimator object) that cannot be fingerprinted structurally and
+    cannot be corrupted by :class:`~repro.faults.models.StateCorruption`
+    either — only the keys that hold plain values and arrays enter the
+    CRC.  The key list itself is part of the fingerprint, so a
+    truncated snapshot (a missing field) is detected too.
+
+    The ``"state"`` entry is usually an opaque problem-state object, so
+    it never enters the generic walk; the caller passes its backing
+    array via ``state_array`` (:meth:`repro.problems.base.Problem.
+    state_array`) — exactly the values in-memory corruption can poison.
+    Stamp and verify must pass the same view or neither.
+    """
+    content = {
+        key: value
+        for key, value in snapshot.items()
+        if key not in ("crc", "state") and _fingerprintable(value)
+    }
+    crc = _update(0, content)
+    if state_array is not None:
+        crc = _update(_mix(crc, b"S"), state_array)
+    return crc
+
+
+def _fingerprintable(value: Any) -> bool:
+    if value is None or isinstance(
+        value, (bool, int, float, str, bytes, np.integer, np.floating, np.ndarray)
+    ):
+        return True
+    if isinstance(value, dict):
+        return all(_fingerprintable(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return all(_fingerprintable(v) for v in value)
+    return False

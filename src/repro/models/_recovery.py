@@ -16,6 +16,16 @@ message anyway.  Two failure modes need explicit recovery:
   neighbour to re-send its current boundary (receive handlers run
   atomically even while the neighbour's main loop is blocked, exactly
   like a PM2 handler thread).
+
+Both models roll back through
+:meth:`repro.core.solver.ChainRun.restore_checkpoint`, which under an
+armed detection layer verifies the snapshot's CRC first and falls back
+to the last *verified* snapshot (see
+:func:`repro.integrity.checkpoint_crc`) — a checkpoint poisoned at rest
+is never silently restored, here or in the asynchronous models.  The
+halo re-requests below double as the refetch half of reject-and-refetch
+when a corrupted halo delivery was discarded by the receive-side
+checksum.
 """
 
 from __future__ import annotations

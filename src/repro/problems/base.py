@@ -112,6 +112,25 @@ class Problem(ABC):
         """
         return copy.deepcopy(state)
 
+    def state_array(self, state: Any) -> np.ndarray | None:
+        """The mutable array backing ``state``, or None.
+
+        Consumed by the data-integrity layer: in-memory corruption
+        injection (:class:`~repro.faults.models.StateCorruption`) and
+        the plausibility guard's NaN/Inf screens need a raw view of the
+        block's values.  The default recognises a bare array and the
+        field names every bundled problem uses (``traj``/``e``/``x``);
+        a problem with an exotic state layout overrides this.  ``None``
+        means the state cannot be poisoned or screened.
+        """
+        if isinstance(state, np.ndarray):
+            return state
+        for name in ("traj", "e", "x"):
+            arr = getattr(state, name, None)
+            if isinstance(arr, np.ndarray):
+                return arr
+        return None
+
     def batched_chain_sweeper(self, blocks: list[tuple[int, int]]) -> Any:
         """A vectorised whole-chain sweeper for static ``blocks``, or None.
 

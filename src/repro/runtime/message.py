@@ -34,6 +34,13 @@ class Message:
     attempt:
         Transmission attempt (0 = first send, >0 = retransmissions by
         the resilient transport).
+    checksum:
+        Send-time payload fingerprint
+        (:func:`repro.integrity.payload_checksum`), stamped only when
+        the attached fault injector has payload corruption armed with
+        detection enabled; receivers verify it on delivery and treat a
+        mismatch as loss.  Always ``None`` on the fast path and on
+        every zero-corruption run — the field never perturbs them.
     """
 
     kind: str
@@ -45,3 +52,4 @@ class Message:
     arrival_time: float = 0.0
     seq: int = 0
     attempt: int = 0
+    checksum: int | None = None

@@ -45,6 +45,7 @@ from repro.des.process import Hold, Signal
 from repro.des.simulator import Simulator
 from repro.grid.host import Host
 from repro.grid.network import Network
+from repro.integrity import payload_checksum
 from repro.runtime.message import Message
 from repro.runtime.tracer import MessageRecord, Tracer
 
@@ -400,6 +401,9 @@ class GridNode:
             self._busy_channels.add(channel)
         seq = self._send_seq.get(channel, 0)
         self._send_seq[channel] = seq + 1
+        checksum = None
+        if self.injector.detection_active and kind != HEARTBEAT_KIND:
+            checksum = payload_checksum(payload)
         message = Message(
             kind=kind,
             payload=payload,
@@ -409,6 +413,7 @@ class GridNode:
             send_time=self.sim.now,
             arrival_time=0.0,
             seq=seq,
+            checksum=checksum,
         )
         transfer = _Transfer(message, dst, channel, exclusive)
         self._transmit(transfer)
@@ -458,7 +463,20 @@ class GridNode:
             return
         message = transfer.message
         message.arrival_time = arrival
-        dst._on_receive(message)
+        delivered = message
+        if injector.corrupts_payloads and message.kind != HEARTBEAT_KIND:
+            delivered = injector.corrupt_delivery(message)
+            if delivered.checksum is not None and payload_checksum(
+                delivered.payload
+            ) != delivered.checksum:
+                # Verify-on-receive: the copy was damaged in flight.
+                # Discard it exactly as if it had been lost — no
+                # handler, no ack — so the sender's retry timer
+                # retransmits the pristine buffered original
+                # (reject-and-refetch).
+                injector.note_corruption_detected(delivered)
+                return
+        dst._on_receive(delivered)
         if message.kind == HEARTBEAT_KIND:
             return
         transfer.delivered = True
@@ -466,6 +484,8 @@ class GridNode:
             return  # a duplicate copy arriving after completion
         if injector.ack_dropped(dst, self, message):
             return  # the acknowledgement is lost; the sender will retry
+        if injector.ack_corrupted(dst, self, message):
+            return  # the acknowledgement is mangled; ditto
         ack_arrival = self.network.arrival_time(
             dst.host, self.host, injector.resilience.ack_bytes, self.sim.now
         )

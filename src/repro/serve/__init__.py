@@ -31,7 +31,7 @@ from repro.serve.spec import (
     execute_spec,
     validate_spec,
 )
-from repro.serve.wal import WAL_SCHEMA, JobWAL, WALError, fold, replay
+from repro.serve.wal import WAL_SCHEMA, JobWAL, WALError, fold, record_crc, replay
 
 __all__ = [
     "AUDIT_SCHEMA",
@@ -58,6 +58,7 @@ __all__ = [
     "execute_spec",
     "fold",
     "read_audit",
+    "record_crc",
     "replay",
     "validate_spec",
 ]

@@ -3,9 +3,17 @@
 Every job the daemon finishes — done, failed or killed — appends one
 record to ``audit.jsonl``::
 
-    {"schema": "repro-serve-audit/1", "seq": 9, "job_id": "j000009",
-     "tenant": "alice", "spec": {...}, "config_digest": "...",
-     "result_digest": "..." | null, "state": "done"}
+    {"crc": 812530941, "schema": "repro-serve-audit/2", "seq": 9,
+     "job_id": "j000009", "tenant": "alice", "spec": {...},
+     "config_digest": "...", "result_digest": "..." | null,
+     "state": "done"}
+
+``crc`` is the same at-rest stamp the WAL uses
+(:func:`repro.serve.wal.record_crc`): an audit line whose bytes rotted
+no longer masquerades as a replayable claim.  Damaged lines are
+*quarantined* on read — skipped and reported, never silently accepted
+— while an intact record of a different audit schema version still
+raises (that is an operator error, not corruption).
 
 ``config_digest`` is the :func:`~repro.serve.spec.config_digest` of the
 validated spec; ``result_digest`` the served payload's ``digest``.
@@ -31,21 +39,30 @@ from typing import Any
 
 from repro.analysis.perf import canonical_json
 from repro.serve.spec import execute_spec
+from repro.serve.wal import JobWAL, record_crc
 
 __all__ = ["AUDIT_SCHEMA", "AuditLog", "AuditReplayReport", "audit_replay", "read_audit"]
 
-AUDIT_SCHEMA = "repro-serve-audit/1"
+AUDIT_SCHEMA = "repro-serve-audit/2"
+
+#: Recognised-but-unreadable predecessors (no CRC stamp): meeting one
+#: raises instead of quarantining — a version mismatch, not bit rot.
+_LEGACY_SCHEMAS = frozenset({"repro-serve-audit/1"})
 
 
 class AuditLog:
-    """Appender over the audit JSONL file (same torn-tail tolerance as
-    the WAL: only complete lines are ever read back)."""
+    """Appender over the audit JSONL file (same torn-tail healing and
+    quarantine semantics as the WAL: only verified lines are ever read
+    back, damaged ones are skipped and retained in :attr:`quarantined`)."""
 
     def __init__(self, path: str, *, durable: bool = True) -> None:
         self.path = path
         self.durable = durable
-        self.seq = len(read_audit(path))
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self.tail_healed = JobWAL._heal_torn_tail(path)
+        self.quarantined: list[dict[str, Any]] = []
+        records = read_audit(path, quarantine=self.quarantined)
+        self.seq = records[-1]["seq"] if records else 0
         self._fh = open(path, "a", encoding="utf-8")
 
     def close(self) -> None:
@@ -73,29 +90,65 @@ class AuditLog:
             "result_digest": result_digest,
             "state": state,
         }
+        record["crc"] = record_crc(record)
         self._fh.write(canonical_json(record) + "\n")
         self._fh.flush()
         if self.durable:
             os.fsync(self._fh.fileno())
 
 
-def read_audit(path: str) -> list[dict[str, Any]]:
-    """All complete audit records at ``path`` (missing file = empty)."""
+def read_audit(
+    path: str, *, quarantine: list[dict[str, Any]] | None = None
+) -> list[dict[str, Any]]:
+    """All verified audit records at ``path`` (missing file = empty).
+
+    Lines that fail verification — unparsable JSON, missing or wrong
+    CRC — are skipped and, when ``quarantine`` is given, described into
+    it as ``{"lineno", "line", "reason"}`` entries.  An *intact* record
+    (CRC verifies) of a foreign schema, or any record of a known legacy
+    audit schema, still raises :class:`ValueError`.
+    """
     records: list[dict[str, Any]] = []
     try:
-        with open(path, "r", encoding="utf-8") as fh:
+        # errors="replace": invalid UTF-8 from bit rot must quarantine
+        # the affected line, not crash the replay (see wal.replay).
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
             lines = fh.read().split("\n")
     except FileNotFoundError:
         return records
-    for line in lines[:-1]:  # the last slot is "" or a torn append
+    for lineno, line in enumerate(lines[:-1], start=1):
+        # the last slot is "" or a torn append
         if not line.strip():
             continue
-        record = json.loads(line)
-        if record.get("schema") != AUDIT_SCHEMA:
-            raise ValueError(
-                f"{path}: unexpected audit schema {record.get('schema')!r}"
+        reason = None
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            record, reason = None, f"malformed JSON: {exc}"
+        if record is not None and not isinstance(record, dict):
+            record, reason = None, "record is not an object"
+        if record is not None:
+            schema = record.get("schema")
+            if record.get("crc") == record_crc(record):
+                if schema != AUDIT_SCHEMA:
+                    raise ValueError(
+                        f"{path}:{lineno}: unexpected audit schema "
+                        f"{schema!r} (want {AUDIT_SCHEMA!r})"
+                    )
+                records.append(record)
+                continue
+            if schema in _LEGACY_SCHEMAS:
+                raise ValueError(
+                    f"{path}:{lineno}: audit log written by schema "
+                    f"{schema!r}; this build reads {AUDIT_SCHEMA!r}"
+                )
+            reason = (
+                "CRC mismatch" if "crc" in record else "missing CRC stamp"
             )
-        records.append(record)
+        if quarantine is not None:
+            quarantine.append(
+                {"lineno": lineno, "line": line, "reason": reason}
+            )
     return records
 
 
@@ -108,6 +161,7 @@ class AuditReplayReport:
     n_done: int
     sample: int
     seed: int
+    n_quarantined: int = 0
     rows: list[dict[str, Any]] = field(default_factory=list)
 
     @property
@@ -124,6 +178,10 @@ class AuditReplayReport:
             f"  {self.n_records} record(s), {self.n_done} done; replayed "
             f"{len(self.rows)} sampled (seed {self.seed})",
         ]
+        if self.n_quarantined:
+            lines.append(
+                f"  {self.n_quarantined} corrupted line(s) quarantined"
+            )
         for row in self.rows:
             status = "ok" if row["ok"] else "MISMATCH"
             lines.append(
@@ -148,7 +206,8 @@ def audit_replay(
     produced the audited run) and its fresh result digest compared to
     the recorded one.
     """
-    records = read_audit(path)
+    quarantine: list[dict[str, Any]] = []
+    records = read_audit(path, quarantine=quarantine)
     done = [r for r in records if r["state"] == "done" and r["result_digest"]]
     picked = done
     if sample < len(done):
@@ -160,6 +219,7 @@ def audit_replay(
         n_done=len(done),
         sample=sample,
         seed=seed,
+        n_quarantined=len(quarantine),
     )
     for record in picked:
         payload = execute_spec(record["spec"])

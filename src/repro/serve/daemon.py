@@ -173,8 +173,30 @@ class ServeDaemon:
     # Startup / shutdown
     # ------------------------------------------------------------------
     def _recover(self) -> None:
-        """Fold the WAL back into the table; requeue interrupted jobs."""
-        to_requeue = self.table.restore(fold(replay(self.wal.path)))
+        """Fold the WAL back into the table; requeue interrupted jobs.
+
+        Silent storage corruption surfaces here: lines the WAL replay
+        quarantined (damaged JSON, CRC mismatches) are counted, and any
+        ``state`` record whose ``submit`` was among them is tolerated as
+        an orphan instead of aborting recovery of every healthy job.
+        """
+        quarantine: list[dict[str, Any]] = []
+        records = replay(self.wal.path, quarantine=quarantine)
+        orphans: list[dict[str, Any]] = []
+        jobs = fold(
+            records, orphan_states=orphans if quarantine else None
+        )
+        if quarantine:
+            self.registry.counter("serve.wal_quarantined").inc(
+                len(quarantine)
+            )
+        if orphans:
+            self.registry.counter("serve.wal_orphan_states").inc(
+                len(orphans)
+            )
+        if self.wal.tail_healed:
+            self.registry.counter("serve.wal_tail_healed").inc()
+        to_requeue = self.table.restore(jobs)
         for job in to_requeue:
             if job.state == "running":
                 # The attempt died with the previous daemon process.
@@ -570,6 +592,7 @@ class ServeDaemon:
                 "tenants": dict(sorted(self.table.usage_s.items())),
                 "fairness": self.scheduler.fairness(self.table.usage_s),
                 "wal_seq": self.wal.seq,
+                "wal_quarantined": len(self.wal.quarantined),
                 "audit_seq": self.audit.seq,
                 "engine": stats.to_dict(),
                 "cache_hit_rate": stats.hits / lookups if lookups else 0.0,

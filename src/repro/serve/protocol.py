@@ -26,6 +26,7 @@ are too long — the kernel caps them at ~107 bytes).
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from typing import Any, Iterator
@@ -57,6 +58,21 @@ def _connect(address: str, timeout: float) -> socket.socket:
     return sock
 
 
+#: Connect-phase errors that are safe to retry: nothing has been sent
+#: yet, so a retry cannot duplicate a request.  Refused/reset covers a
+#: daemon mid-restart; FileNotFoundError covers a unix socket path that
+#: is not bound yet; TimeoutError covers a SYN lost to a saturated
+#: accept queue (``socket.timeout`` is an alias since 3.10).
+_TRANSIENT_CONNECT = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    FileNotFoundError,
+    TimeoutError,
+    InterruptedError,
+)
+
+
 class ServeClient:
     """Client for one serve daemon; every call is one connection.
 
@@ -64,17 +80,53 @@ class ServeClient:
     (a request cannot interleave with another on the same socket) and
     makes the client trivially usable from many threads at once — the
     benchmark drives N submitting clients this way.
+
+    ``connect_timeout`` bounds the dial separately from ``timeout``
+    (the read deadline): a dead daemon fails in seconds instead of
+    hanging for the full read budget.  Transient connect errors are
+    retried up to ``connect_retries`` times with jittered exponential
+    backoff — but only the dial is ever retried; once the request line
+    has been written, a failure propagates (the daemon may already have
+    acted on it, and verbs like ``submit`` are not idempotent).
     """
 
-    def __init__(self, address: str, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        address: str,
+        *,
+        timeout: float = 30.0,
+        connect_timeout: float = 5.0,
+        connect_retries: int = 3,
+        retry_backoff: float = 0.05,
+    ) -> None:
         self.address = address
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.connect_retries = connect_retries
+        self.retry_backoff = retry_backoff
 
     # ------------------------------------------------------------------
+    def _connect_with_retry(self) -> socket.socket:
+        """Dial the daemon, retrying transient connect-phase failures."""
+        attempt = 0
+        while True:
+            try:
+                return _connect(self.address, self.connect_timeout)
+            except _TRANSIENT_CONNECT as exc:
+                attempt += 1
+                if attempt > self.connect_retries:
+                    raise ServeError(
+                        f"cannot connect to daemon at {self.address!r} "
+                        f"after {attempt} attempt(s): {exc}"
+                    ) from exc
+                delay = self.retry_backoff * (2 ** (attempt - 1))
+                time.sleep(delay * (1.0 + random.random()))
+
     def _request_lines(
         self, request: dict[str, Any], timeout: float | None = None
     ) -> Iterator[dict[str, Any]]:
-        sock = _connect(self.address, timeout or self.timeout)
+        sock = self._connect_with_retry()
+        sock.settimeout(timeout if timeout is not None else self.timeout)
         try:
             with sock.makefile("rw", encoding="utf-8", newline="\n") as fh:
                 fh.write(json.dumps(request) + "\n")

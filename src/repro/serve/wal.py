@@ -10,79 +10,140 @@ recorded results.
 
 Record format (one canonical-JSON object per line)::
 
-    {"schema": "repro-serve-wal/1", "seq": 17, "type": "submit",
-     "job": {...}}
-    {"schema": "repro-serve-wal/1", "seq": 18, "type": "state",
-     "job_id": "j000004", "state": "running", "attempts": 1, ...}
+    {"crc": 3094873502, "schema": "repro-serve-wal/2", "seq": 17,
+     "type": "submit", "job": {...}}
+    {"crc": 193475381, "schema": "repro-serve-wal/2", "seq": 18,
+     "type": "state", "job_id": "j000004", "state": "running", ...}
 
 ``seq`` is strictly increasing across the whole file; ``submit``
 carries the full job record, ``state`` a delta (new state, attempt
-count, optional ``error`` / ``result`` / ``not_before``).
+count, optional ``error`` / ``result`` / ``not_before``).  ``crc`` is
+:func:`record_crc` over the record *without* its crc field — the
+at-rest integrity stamp of schema v2.
 
-Crash consistency
------------------
+Crash consistency and corruption
+--------------------------------
 Appends are a single ``write`` of one line followed by ``flush`` +
 ``fsync`` (fsync elidable via ``durable=False`` for benchmarks).  A
-crash can therefore only tear the *final* line; :func:`replay`
-tolerates exactly that — a trailing partial line is dropped — while
-garbage anywhere earlier raises :class:`WALError` (that is real
-corruption, not a crash artefact, and silently skipping it would
-resurrect or lose jobs).
+crash can therefore only tear the *final* line; :class:`JobWAL`
+truncates such a torn tail when it reopens the file (the transition was
+never acknowledged, so dropping it is the safe direction) and replays
+tolerate one if they see it first.
+
+Anything else that fails to verify — unparsable JSON, a record whose
+CRC does not match its bytes, a record without a CRC — is *silent
+corruption* (bit rot, a stray writer, disk damage).  Schema v1 raised
+:class:`WALError` for any of it; v2 instead **quarantines** the damaged
+line: it is skipped, reported through ``replay``'s ``quarantine``
+parameter, and counted by the daemon (``serve.wal_quarantined``), so
+one rotten record no longer takes the whole queue down while never
+being silently accepted either.  :class:`WALError` remains the loud
+failure for problems quarantine must not paper over: a record of a
+*different WAL schema version* that is provably intact (its CRC
+verifies, or it is a v1 record — v1 never carried CRCs), and ``seq``
+regressions among verified records.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Any, Iterable
 
 from repro.analysis.perf import canonical_json
 
-__all__ = ["WAL_SCHEMA", "JobWAL", "WALError", "fold", "replay"]
+__all__ = [
+    "WAL_SCHEMA",
+    "JobWAL",
+    "WALError",
+    "fold",
+    "record_crc",
+    "replay",
+]
 
-WAL_SCHEMA = "repro-serve-wal/1"
+WAL_SCHEMA = "repro-serve-wal/2"
+
+#: Schema versions that are recognised as *ours* even though they fail
+#: v2 verification (they predate the CRC stamp).  Meeting one raises
+#: :class:`WALError` — a version mismatch, not corruption.
+_LEGACY_SCHEMAS = frozenset({"repro-serve-wal/1"})
 
 
 class WALError(RuntimeError):
     """The WAL is corrupt in a way crash-recovery must not paper over."""
 
 
-def replay(path: str) -> list[dict[str, Any]]:
-    """Read every complete record of the WAL at ``path``.
+def record_crc(record: dict[str, Any]) -> int:
+    """CRC32 of a record's canonical JSON form, ``crc`` field excluded."""
+    content = {k: v for k, v in record.items() if k != "crc"}
+    return zlib.crc32(canonical_json(content).encode("utf-8"))
 
-    A missing file is an empty log.  A torn final line (crashed
-    appender) is ignored; any other malformed line raises
-    :class:`WALError`.  Records of a future schema version also raise —
-    downgrading a daemon across a WAL format change is not supported.
+
+def replay(
+    path: str, *, quarantine: list[dict[str, Any]] | None = None
+) -> list[dict[str, Any]]:
+    """Read every verified record of the WAL at ``path``.
+
+    A missing file is an empty log; a torn final line (crashed
+    appender) is ignored.  Damaged lines are skipped and, when
+    ``quarantine`` is given, described into it as ``{"lineno", "line",
+    "reason"}`` entries — the caller decides whether to surface counts
+    or refuse service.  Intact records of a *different* schema version
+    raise :class:`WALError` (running a daemon across a WAL format
+    change is an operator error, not corruption), as do ``seq``
+    regressions among the verified records.
     """
     records: list[dict[str, Any]] = []
     try:
-        with open(path, "r", encoding="utf-8") as fh:
+        # errors="replace": bit rot can produce invalid UTF-8, and a
+        # strict decode would crash the whole replay on one bad byte.
+        # The replacement character breaks that line's JSON parse (and
+        # its CRC), routing it to quarantine like any other damage.
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
             lines = fh.read().split("\n")
     except FileNotFoundError:
         return records
     # A well-formed file ends with "\n", so split() yields a trailing
     # empty string.  Anything else in the last slot is a torn append
     # (crash mid-write): it is dropped — the transition was never
-    # acknowledged, so dropping it is the safe direction.  Lines in the
-    # body were all newline-terminated, so a malformed one there is
-    # genuine corruption.
+    # acknowledged, so dropping it is the safe direction.
     body = lines[:-1]
     for lineno, line in enumerate(body, start=1):
         if not line.strip():
             continue
+        reason = None
         try:
             record = json.loads(line)
         except ValueError as exc:
-            raise WALError(
-                f"{path}:{lineno}: malformed WAL record: {exc}"
-            ) from exc
-        if record.get("schema") != WAL_SCHEMA:
-            raise WALError(
-                f"{path}:{lineno}: unexpected WAL schema "
-                f"{record.get('schema')!r} (want {WAL_SCHEMA!r})"
+            record, reason = None, f"malformed JSON: {exc}"
+        if record is not None and not isinstance(record, dict):
+            record, reason = None, "record is not an object"
+        if record is not None:
+            schema = record.get("schema")
+            if record.get("crc") == record_crc(record):
+                # Bit-exact as some appender wrote it: a schema mismatch
+                # here is a version problem, never line damage.
+                if schema != WAL_SCHEMA:
+                    raise WALError(
+                        f"{path}:{lineno}: unsupported WAL schema "
+                        f"{schema!r} (want {WAL_SCHEMA!r})"
+                    )
+                records.append(record)
+                continue
+            if schema in _LEGACY_SCHEMAS:
+                raise WALError(
+                    f"{path}:{lineno}: WAL written by schema {schema!r}; "
+                    f"this build reads {WAL_SCHEMA!r} — migrate or remove "
+                    "the old log"
+                )
+            reason = (
+                "CRC mismatch" if "crc" in record else "missing CRC stamp"
             )
-        records.append(record)
+        if quarantine is not None:
+            quarantine.append(
+                {"lineno": lineno, "line": line, "reason": reason}
+            )
     seqs = [r["seq"] for r in records]
     if seqs != sorted(set(seqs)):
         raise WALError(f"{path}: WAL seq numbers not strictly increasing")
@@ -94,25 +155,46 @@ class JobWAL:
 
     Not thread-safe by itself — the daemon serialises appends under its
     state lock, which also makes (seq assignment, write) atomic.
+
+    Opening the file heals a torn tail (a final line without ``\\n``,
+    left by a crashed appender) by truncating it: the bytes were never
+    acknowledged and appending after them would weld the next record
+    onto the fragment.  Damaged lines met during the opening replay are
+    retained in :attr:`quarantined`.
     """
 
     def __init__(self, path: str, *, durable: bool = True) -> None:
         self.path = path
         self.durable = durable
-        existing = replay(path)
-        self.seq = existing[-1]["seq"] if existing else 0
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self.tail_healed = self._heal_torn_tail(path)
+        self.quarantined: list[dict[str, Any]] = []
+        existing = replay(path, quarantine=self.quarantined)
+        self.seq = existing[-1]["seq"] if existing else 0
         self._fh = open(path, "a", encoding="utf-8")
+
+    @staticmethod
+    def _heal_torn_tail(path: str) -> bool:
+        try:
+            with open(path, "rb+") as fh:
+                data = fh.read()
+                if data and not data.endswith(b"\n"):
+                    fh.truncate(data.rfind(b"\n") + 1)
+                    return True
+        except FileNotFoundError:
+            pass
+        return False
 
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.close()
 
     def append(self, type_: str, **fields: Any) -> int:
-        """Durably append one record; returns its ``seq``."""
+        """Durably append one CRC-stamped record; returns its ``seq``."""
         self.seq += 1
         record = {"schema": WAL_SCHEMA, "seq": self.seq, "type": type_}
         record.update(fields)
+        record["crc"] = record_crc(record)
         self._fh.write(canonical_json(record) + "\n")
         self._fh.flush()
         if self.durable:
@@ -127,13 +209,21 @@ class JobWAL:
         return self.append("state", job_id=job_id, state=state, **fields)
 
 
-def fold(records: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+def fold(
+    records: Iterable[dict[str, Any]],
+    *,
+    orphan_states: list[dict[str, Any]] | None = None,
+) -> dict[str, dict[str, Any]]:
     """Fold WAL records into ``{job_id: job_record}``.
 
     ``submit`` creates the job; each ``state`` record overlays the new
-    state plus any delta fields it carries.  Unknown job ids in state
-    records raise :class:`WALError` (a submit record must come first —
-    the daemon writes them in that order).
+    state plus any delta fields it carries.  A state record for an
+    unknown job normally raises :class:`WALError` (the daemon always
+    writes the submit first, so this is a logic bug) — but when the
+    caller quarantined damaged lines the missing submit may simply be
+    one of them: pass ``orphan_states`` to collect such records instead
+    of raising (the job is unrecoverable either way; collecting keeps
+    recovery of every *other* job alive).
     """
     jobs: dict[str, dict[str, Any]] = {}
     for record in records:
@@ -143,6 +233,9 @@ def fold(records: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]]:
         elif record["type"] == "state":
             job_id = record["job_id"]
             if job_id not in jobs:
+                if orphan_states is not None:
+                    orphan_states.append(record)
+                    continue
                 raise WALError(
                     f"state record for unknown job {job_id!r} "
                     f"(seq {record['seq']})"

@@ -2,6 +2,7 @@
 
 from repro.workloads.scenarios import (
     Figure5Scenario,
+    IntegrityScenario,
     ScaleScenario,
     Table1Scenario,
     ModelsComparisonScenario,
@@ -12,6 +13,7 @@ from repro.workloads.scenarios import (
 
 __all__ = [
     "Figure5Scenario",
+    "IntegrityScenario",
     "ScaleScenario",
     "Table1Scenario",
     "ModelsComparisonScenario",

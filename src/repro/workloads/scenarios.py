@@ -33,6 +33,7 @@ from repro.util.rng import RngTree
 
 __all__ = [
     "Figure5Scenario",
+    "IntegrityScenario",
     "ScaleScenario",
     "Table1Scenario",
     "ModelsComparisonScenario",
@@ -500,6 +501,213 @@ class ResilienceScenario:
             n_steps=8,
             tolerance=1e-6,
             schedule_names=("none", "loss10+crash"),
+        )
+
+
+@dataclass(frozen=True)
+class IntegrityScenario:
+    """Silent-corruption sweep: detection recall vs wrong-answer rate.
+
+    The data-integrity question behind ``repro integrity``: when values
+    rot — in a halo message on the wire, in a live solver block, in a
+    saved checkpoint — does the system *detect and recover*, silently
+    *mask* the damage (the fixed-point iteration is contractive, so
+    clean inputs can iterate poison away), or **converge to a wrong
+    answer without anyone noticing**?  The last outcome is the only
+    unacceptable one, and the benchmark gate asserts it never happens
+    while detection is armed.
+
+    Setup mirrors :class:`ResilienceScenario` (heat problem with exact
+    sequential reference; homogeneous cluster so faults alone explain
+    any degradation).  Every corruption schedule runs twice: the
+    ``detect`` arm with :attr:`~repro.faults.models.ResilienceConfig.
+    integrity_checks` armed (checksums, checkpoint CRC, plausibility
+    guard) and the ``blind`` arm with them off, measuring what
+    asynchronism absorbs unaided.  ``truncate`` payloads only run in
+    the detect arm: an unchecked truncated halo is a malformed message
+    no receiver contract covers (it would crash the handler, loudly —
+    not a silent-corruption datum).
+    """
+
+    seed: int = 42
+    n_points: int = 48
+    t_end: float = 0.05
+    n_steps: int = 12
+    n_procs: int = 4
+    host_speed: float = 2000.0
+    tolerance: float = 1e-7
+    #: Run budget (virtual seconds).  The clean run converges in ~10;
+    #: a blind run still iterating at 60x that is conclusively stalled,
+    #: and continuous payload corruption makes stalled runs expensive
+    #: (every delivery keeps injecting), so the budget is deliberately
+    #: tighter than ResilienceScenario's.
+    max_time: float = 600.0
+    #: Payload-corruption intensities (per-delivery probability).
+    rate_low: float = 0.02
+    rate_high: float = 0.10
+    perturb_amplitude: float = 10.0
+    #: Timed state faults (virtual seconds).
+    state_rank: int = 1
+    state_at: float = 3.0
+    ckpt_at: float = 2.5
+    crash_rank: int = 1
+    crash_at: float = 3.5
+    crash_downtime: tuple[float, float] = (1.0, 2.0)
+    #: A converged answer farther than this from the sequential
+    #: reference is a *wrong answer* (the silent failure the layer
+    #: exists to rule out).
+    error_tol: float = 1e-3
+    schedule_names: tuple[str, ...] = (
+        "none",
+        "flip_lo",
+        "flip_hi",
+        "perturb",
+        "truncate",
+        "state",
+        "ckpt+crash",
+    )
+    models: tuple[str, ...] = ("aiac+lb", "aiac", "siac", "sisc")
+    arms: tuple[str, ...] = ("detect", "blind")
+    #: Schedules that only run with detection armed (see class docs).
+    detect_only: tuple[str, ...] = ("truncate",)
+    headline: str = "flip_hi"
+
+    def problem(self):
+        from repro.problems.heat import HeatProblem
+
+        return HeatProblem(
+            self.n_points, t_end=self.t_end, n_steps=self.n_steps
+        )
+
+    def platform(self) -> Platform:
+        return homogeneous_cluster(self.n_procs, speed=self.host_speed)
+
+    def solver_config(self, *, trace: bool = False) -> SolverConfig:
+        return SolverConfig(
+            tolerance=self.tolerance,
+            max_iterations=200_000,
+            max_time=self.max_time,
+            trace=trace,
+        )
+
+    def lb_config(self) -> LBConfig:
+        return LBConfig(
+            period=5,
+            threshold_ratio=2.0,
+            min_components=2,
+            accuracy=1.0,
+            max_fraction=0.5,
+        )
+
+    def guard_config(self):
+        from repro.guard import GuardConfig
+
+        return GuardConfig()
+
+    def resilience(self, *, detect: bool):
+        from repro.faults.models import ResilienceConfig
+
+        # Same transport regime as ResilienceScenario: retransmissions
+        # resolve within a couple of sweeps, checkpoints are frequent
+        # enough that a rollback costs little progress.
+        return ResilienceConfig(
+            base_timeout=0.05,
+            heartbeat_period=1.0,
+            liveness_timeout=3.0,
+            checkpoint_every=20,
+            integrity_checks=detect,
+        )
+
+    # ------------------------------------------------------------------
+    def faults_for(self, name: str) -> tuple:
+        """The fault models of one named corruption schedule."""
+        from repro.faults.models import (
+            HostCrash,
+            PayloadCorruption,
+            StateCorruption,
+        )
+
+        builders: dict[str, tuple] = {
+            "none": (),
+            "flip_lo": (PayloadCorruption(self.rate_low, mode="bitflip"),),
+            "flip_hi": (PayloadCorruption(self.rate_high, mode="bitflip"),),
+            "perturb": (
+                PayloadCorruption(
+                    self.rate_high,
+                    mode="perturb",
+                    amplitude=self.perturb_amplitude,
+                ),
+            ),
+            "truncate": (
+                PayloadCorruption(self.rate_low, mode="truncate"),
+            ),
+            "state": (
+                StateCorruption(
+                    rank=self.state_rank, at=self.state_at, target="state"
+                ),
+            ),
+            # Poison the saved snapshot, then crash the same rank: the
+            # restart *must* restore from checkpoint, so the CRC check
+            # is actually on the recovery path (without the crash a
+            # later re-checkpoint could simply overwrite the poison).
+            "ckpt+crash": (
+                StateCorruption(
+                    rank=self.crash_rank,
+                    at=self.ckpt_at,
+                    target="checkpoint",
+                ),
+                HostCrash(
+                    rank=self.crash_rank,
+                    at=self.crash_at,
+                    downtime=self.crash_downtime,
+                ),
+            ),
+        }
+        if name not in builders:
+            raise ValueError(
+                f"unknown schedule {name!r}; choose from {sorted(builders)}"
+            )
+        return builders[name]
+
+    def schedule(self, name: str, *, detect: bool):
+        """One named :class:`FaultSchedule` with detection armed or not."""
+        from repro.faults.models import FaultSchedule
+
+        return FaultSchedule(
+            faults=self.faults_for(name),
+            seed=self.seed,
+            resilience=self.resilience(detect=detect),
+        )
+
+    def grid(self) -> list[tuple[str, str, str]]:
+        """All (arm, schedule, model) cells the sweep runs, in order."""
+        return [
+            (arm, name, model)
+            for arm in self.arms
+            for name in self.schedule_names
+            if arm == "detect" or name not in self.detect_only
+            for model in self.models
+        ]
+
+    @classmethod
+    def quick(cls) -> "IntegrityScenario":
+        """Reduced sweep for fast CLI runs and the CI smoke."""
+        return cls(
+            n_points=32,
+            n_steps=8,
+            tolerance=1e-6,
+            schedule_names=("none", "flip_hi", "state", "ckpt+crash"),
+        )
+
+    @classmethod
+    def tiny(cls) -> "IntegrityScenario":
+        """Smallest instance: clean baseline + one payload schedule."""
+        return cls(
+            n_points=32,
+            n_steps=8,
+            tolerance=1e-6,
+            schedule_names=("none", "flip_hi"),
+            models=("aiac+lb", "aiac"),
         )
 
 

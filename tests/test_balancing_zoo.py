@@ -189,3 +189,24 @@ def test_reactive_residual_levels_a_two_node_imbalance():
     )
     result = run_zoo(topo, "reactive_residual", params=params, seed=0)
     assert result.final_imbalance < 1.1
+
+
+def test_value_corruption_lies_change_decisions_but_conserve_load():
+    topo = build_topology(spec_for_family("torus", 16, seed=0))
+    params = _params(rounds=60)
+    schedule = make_zoo_schedule("value_corruption", topo, params.rounds, seed=7)
+    assert len(schedule.corruptions) == 2
+    over, under = schedule.corruptions
+    assert over.factor > 1.0 > under.factor
+    assert over.node != under.node
+    for lie in schedule.corruptions:
+        assert 0 <= lie.node < 16
+        assert 0 <= lie.start < lie.end <= params.rounds
+    honest = run_zoo(topo, "diffusion", params=params, seed=7)
+    lied = run_zoo(topo, "diffusion", params=params, schedule=schedule, seed=7)
+    # The lies changed balancing decisions (run_zoo asserts the true
+    # total stayed conserved every step of both runs)...
+    assert lied.to_row() != honest.to_row()
+    # ...and the forced outflow limiter kept true loads nonnegative:
+    # max/mean of a nonnegative vector is always >= 1.
+    assert all(h >= 1.0 - 1e-9 for h in lied.history)

@@ -141,6 +141,34 @@ def test_foreign_digest_is_a_miss(tmp_path):
     assert cache.get(digest) == (False, None)
 
 
+def test_bit_rotted_payload_is_a_miss(tmp_path):
+    # The envelope stays structurally perfect — only a payload value
+    # changes.  Pre-CRC schemas would happily serve the wrong answer.
+    cache = RunCache(str(tmp_path))
+    digest = cache.digest_for("k")
+    cache.put(digest, "k", {"result": 42})
+    path = cache.path_for(digest)
+    with open(path) as fh:
+        envelope = json.load(fh)
+    envelope["payload"]["result"] = 43
+    with open(path, "w") as fh:
+        json.dump(envelope, fh, sort_keys=True)
+    assert cache.get(digest) == (False, None)
+
+
+def test_missing_crc_is_a_miss(tmp_path):
+    cache = RunCache(str(tmp_path))
+    digest = cache.digest_for("k")
+    _poison(
+        cache,
+        digest,
+        json.dumps(
+            {"schema": CACHE_SCHEMA, "digest": digest, "key": "k", "payload": 1}
+        ),
+    )
+    assert cache.get(digest) == (False, None)
+
+
 def test_non_dict_envelope_is_a_miss(tmp_path):
     cache = RunCache(str(tmp_path))
     digest = cache.digest_for("k")

@@ -1,0 +1,113 @@
+"""End-to-end tests for the integrity experiment sweep."""
+
+import json
+
+import pytest
+
+from repro.analysis.perf import stable_digest
+from repro.experiments.integrity import _classify, run_integrity
+from repro.workloads import IntegrityScenario
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_integrity(IntegrityScenario.tiny())
+
+
+def test_sweep_covers_every_grid_cell(tiny_result):
+    scenario = IntegrityScenario.tiny()
+    seen = [(r["arm"], r["schedule"], r["model"]) for r in tiny_result.rows]
+    assert seen == scenario.grid()
+
+
+def test_detect_arm_recovers_from_payload_corruption(tiny_result):
+    scenario = IntegrityScenario.tiny()
+    for model in scenario.models:
+        row = tiny_result.row("detect", "flip_hi", model)
+        assert row is not None
+        assert row["outcome"] == "recovered"
+        assert row["converged"]
+        assert row["max_error"] < scenario.error_tol
+        # Recall 1.0 on the wire: every corrupted delivery fails its
+        # checksum and is refetched.
+        assert row["corruptions_injected"] > 0
+        assert row["corruptions_detected"] == row["corruptions_injected"]
+        # Every rejection is healed by the RTO path (a retransmission
+        # can itself be re-corrupted, so retries slightly undercounts
+        # detections — but the retransmit machinery must have run).
+        assert row["retries"] > 0
+
+
+def test_blind_arm_fails_loudly_never_silently(tiny_result):
+    # Unchecked bit-flipped halos either crash a handler contract
+    # (aiac+lb: corrupted migration payloads) or keep the residual from
+    # ever settling (aiac).  Neither run converges wrong.
+    crashed = tiny_result.row("blind", "flip_hi", "aiac+lb")
+    assert crashed["outcome"] == "crashed"
+    assert crashed["time"] is None
+    assert not crashed["converged"]
+    assert crashed["crash"]  # the original exception's type name
+    assert crashed["corruptions_detected"] == 0
+
+    stalled = tiny_result.row("blind", "flip_hi", "aiac")
+    assert stalled["outcome"] == "stalled"
+    assert not stalled["converged"]
+    assert stalled["corruptions_detected"] == 0
+
+
+def test_gate_quantities(tiny_result):
+    assert tiny_result.wrong_detected_rows() == []
+    # Zero-corruption rows are bit-identical across arms: detection is
+    # inert when no corruption fault is scheduled.
+    assert tiny_result.clean_arm_mismatches() == []
+    for row in tiny_result.rows:
+        if row["schedule"] == "none":
+            assert row["outcome"] == "clean"
+            assert row["corruptions_injected"] == 0
+
+
+def test_sweep_is_deterministic(tiny_result):
+    again = run_integrity(IntegrityScenario.tiny())
+    assert again.digest() == tiny_result.digest()
+    assert again.rows == tiny_result.rows
+
+
+def test_report_carries_digest_and_gate_line(tiny_result):
+    report = tiny_result.report()
+    assert tiny_result.digest() in report
+    assert "zero wrong answers with detection armed" in report
+    assert "GATE VIOLATION" not in report
+
+
+def test_save_json_round_trip(tiny_result, tmp_path):
+    path = tmp_path / "bench.json"
+    tiny_result.save_json(str(path))
+    data = json.loads(path.read_text())
+    assert data["digest"] == tiny_result.digest()
+    assert data["rows"] == tiny_result.rows
+    # The stored digest re-derives from the stored rows alone.
+    assert stable_digest({"rows": data["rows"]}) == data["digest"]
+
+
+def test_unknown_schedule_name_is_rejected():
+    with pytest.raises(ValueError, match="nope"):
+        IntegrityScenario().schedule("nope", detect=True)
+
+
+def test_truncate_is_detect_only():
+    grid = IntegrityScenario().grid()
+    assert ("detect", "truncate", "aiac") in grid
+    assert all(
+        schedule != "truncate" for arm, schedule, _ in grid if arm == "blind"
+    )
+
+
+def test_classify_taxonomy():
+    tol = 1e-3
+    assert _classify(True, 1e-9, 0, 0, tol) == "clean"
+    assert _classify(True, 1e-9, 5, 5, tol) == "recovered"
+    assert _classify(True, 1e-9, 5, 0, tol) == "masked"
+    assert _classify(False, 1.0, 5, 5, tol) == "stalled"
+    # The one unacceptable outcome: converged, but to the wrong answer.
+    assert _classify(True, 1.0, 5, 5, tol) == "WRONG"
+    assert _classify(True, 1.0, 5, 0, tol) == "WRONG"

@@ -14,7 +14,10 @@ from repro.faults.models import (
     MessageDuplication,
     MessageLoss,
     MessageReordering,
+    PayloadCorruption,
     ResilienceConfig,
+    StateCorruption,
+    StorageCorruption,
 )
 
 
@@ -109,6 +112,9 @@ def _full_schedule() -> FaultSchedule:
             HostCrash(rank=1, at=4.0, downtime=(1.0, 2.0)),
             HostSlowdown(rank=2, t0=1.0, t1=5.0, factor=0.25, ramp_steps=3),
             LatencySpike(t0=2.0, t1=4.0, factor=8.0, sites=("a", "b")),
+            PayloadCorruption(0.1, kinds=("halo_from_left",), mode="perturb"),
+            StateCorruption(rank=0, at=3.0, target="checkpoint"),
+            StorageCorruption(target="wal", n_bytes=2, offset=10),
         ),
         seed=7,
         resilience=ResilienceConfig(base_timeout=0.5, max_attempts=3),

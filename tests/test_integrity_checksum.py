@@ -1,0 +1,168 @@
+"""Unit tests for the integrity primitives (repro.integrity)."""
+
+import numpy as np
+import pytest
+
+from repro.integrity import (
+    checkpoint_crc,
+    corrupt_array_inplace,
+    corrupt_file,
+    corrupt_payload,
+    payload_checksum,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# payload_checksum
+# ----------------------------------------------------------------------
+def test_checksum_is_deterministic_and_value_sensitive():
+    payload = {"iteration": 12, "halo": np.arange(6, dtype=float), "k": "x"}
+    assert payload_checksum(payload) == payload_checksum(payload)
+    changed = {**payload, "iteration": 13}
+    assert payload_checksum(changed) != payload_checksum(payload)
+
+
+def test_checksum_sees_a_single_mantissa_bit():
+    a = np.array([1.0, 2.0, 3.0])
+    crc = payload_checksum(a)
+    b = a.copy()
+    # Flip the lowest mantissa bit of one element: the value changes by
+    # one ulp — far below any numerical comparison, not below the CRC.
+    b[1] = np.nextafter(b[1], np.inf)
+    assert payload_checksum(b) != crc
+
+
+def test_checksum_type_tags_prevent_structural_collisions():
+    # list and tuple deliberately share the sequence tag; either is
+    # distinct from a bare scalar.
+    assert payload_checksum([1]) == payload_checksum((1,))
+    assert payload_checksum([1]) != payload_checksum(1)
+    assert payload_checksum(1) != payload_checksum(1.0)
+    assert payload_checksum(True) != payload_checksum(1)
+    assert payload_checksum(None) != payload_checksum(0)
+    assert payload_checksum("ab") != payload_checksum(b"ab")
+    assert payload_checksum({"a": 1, "b": 2}) == payload_checksum(
+        {"b": 2, "a": 1}
+    )
+
+
+def test_checksum_distinguishes_float_bit_patterns():
+    assert payload_checksum(0.0) != payload_checksum(-0.0)
+    assert payload_checksum(float("nan")) == payload_checksum(float("nan"))
+
+
+def test_checksum_array_shape_and_dtype_matter():
+    a = np.arange(6, dtype=float)
+    assert payload_checksum(a.reshape(2, 3)) != payload_checksum(a)
+    assert payload_checksum(a.astype(np.float32)) != payload_checksum(a)
+
+
+def test_checksum_rejects_opaque_objects():
+    with pytest.raises(TypeError, match="cannot fingerprint"):
+        payload_checksum(object())
+
+
+# ----------------------------------------------------------------------
+# checkpoint_crc
+# ----------------------------------------------------------------------
+def test_checkpoint_crc_ignores_stamp_and_opaque_state():
+    snapshot = {
+        "iteration": 40,
+        "lo": 0,
+        "hi": 12,
+        "boundary": np.ones(4),
+        "state": object(),  # opaque problem state: excluded from the walk
+        "estimator": object(),  # not fingerprintable: excluded
+    }
+    crc = checkpoint_crc(snapshot)
+    snapshot["crc"] = crc
+    assert checkpoint_crc(snapshot) == crc
+
+
+def test_checkpoint_crc_detects_missing_fields_and_state_damage():
+    snapshot = {"iteration": 40, "lo": 0, "hi": 12, "boundary": np.ones(4)}
+    state = np.linspace(0.0, 1.0, 24)
+    crc = checkpoint_crc(snapshot, state)
+    # The state array is part of the fingerprint...
+    damaged_state = state.copy()
+    damaged_state[7] = np.nextafter(damaged_state[7], np.inf)
+    assert checkpoint_crc(snapshot, damaged_state) != crc
+    # ...passing no view is a different fingerprint (stamp/verify must
+    # agree on the view)...
+    assert checkpoint_crc(snapshot) != crc
+    # ...and so is a truncated snapshot (the key list is fingerprinted).
+    truncated = {k: v for k, v in snapshot.items() if k != "hi"}
+    assert checkpoint_crc(truncated, state) != crc
+
+
+# ----------------------------------------------------------------------
+# corrupt_payload / corrupt_array_inplace
+# ----------------------------------------------------------------------
+def test_corrupt_payload_never_mutates_the_original():
+    payload = {"iteration": 3, "halo": np.arange(5, dtype=float)}
+    pristine_crc = payload_checksum(payload)
+    for mode in ("bitflip", "perturb", "truncate"):
+        damaged, detail = corrupt_payload(payload, mode, 10.0, rng(5))
+        assert detail is not None
+        assert payload_checksum(payload) == pristine_crc, (
+            f"{mode} mutated the sender's buffered copy"
+        )
+        assert payload_checksum(damaged) != pristine_crc
+
+
+def test_corrupt_payload_is_seed_deterministic():
+    payload = {"a": 1.5, "b": np.arange(4, dtype=float)}
+    first = corrupt_payload(payload, "bitflip", 0.0, rng(9))
+    second = corrupt_payload(payload, "bitflip", 0.0, rng(9))
+    assert first[1] == second[1]
+    assert payload_checksum(first[0]) == payload_checksum(second[0])
+
+
+def test_corrupt_payload_with_nothing_corruptible():
+    damaged, detail = corrupt_payload(None, "bitflip", 1.0, rng(0))
+    assert damaged is None and detail is None
+
+
+def test_corrupt_payload_truncate_drops_a_field():
+    payload = {"a": 1.0, "b": 2.0, "c": 3.0}
+    damaged, detail = corrupt_payload(payload, "truncate", 1.0, rng(1))
+    assert len(damaged) == 2
+    assert "dropped field" in detail
+
+
+def test_corrupt_array_inplace_changes_exactly_one_element():
+    arr = np.linspace(1.0, 2.0, 10)
+    before = arr.copy()
+    detail = corrupt_array_inplace(arr, "bitflip", 0.0, rng(2))
+    assert detail.startswith("bitflip")
+    assert (arr != before).sum() == 1
+
+
+# ----------------------------------------------------------------------
+# corrupt_file
+# ----------------------------------------------------------------------
+def test_corrupt_file_damages_and_is_seeded(tmp_path):
+    path = tmp_path / "blob.bin"
+    path.write_bytes(bytes(range(64)))
+    offsets = corrupt_file(str(path), rng(3), n_bytes=4)
+    assert len(offsets) == 4
+    assert path.read_bytes() != bytes(range(64))
+    # Same seed, same pristine file -> identical damage.
+    path.write_bytes(bytes(range(64)))
+    again = corrupt_file(str(path), rng(3), n_bytes=4)
+    assert again == offsets
+
+
+def test_corrupt_file_pinned_offset_and_edge_cases(tmp_path):
+    path = tmp_path / "blob.bin"
+    path.write_bytes(b"\x00" * 16)
+    offsets = corrupt_file(str(path), rng(4), n_bytes=8, offset=12)
+    assert offsets == [12, 13, 14, 15]  # clipped to the file
+    empty = tmp_path / "empty.bin"
+    empty.write_bytes(b"")
+    assert corrupt_file(str(empty), rng(0)) == []
+    assert corrupt_file(str(tmp_path / "missing.bin"), rng(0)) == []

@@ -1,0 +1,226 @@
+"""Property/fuzz tests: random byte damage to durable storage.
+
+The data-integrity contract for the serve WAL and the run cache is
+*never silent acceptance*: arbitrary on-disk damage must surface either
+as a clean quarantine (damaged lines isolated, intact records kept
+verbatim), an explicit :class:`~repro.serve.wal.WALError`, or — for the
+cache — a miss.  What must never happen is a record or payload being
+served whose bytes differ from what was written.
+
+Hypothesis drives the damage: an arbitrary set of byte positions is
+overwritten with arbitrary bytes (including newlines, which can tear a
+line in two, and NULs).  Every failure shrinks to a minimal damage
+pattern; the heavier cases run derandomized so CI is deterministic.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import RunCache
+from repro.serve import JobWAL
+from repro.serve.wal import WALError, record_crc, replay
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+#: A damage pattern: positions (as fractions of the file length, so
+#: shrinking stays meaningful whatever the file size) and payload bytes.
+damage_patterns = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def apply_damage(path, pattern) -> None:
+    """Overwrite bytes of ``path`` per the damage pattern."""
+    with open(path, "rb") as fh:
+        data = bytearray(fh.read())
+    if not data:
+        return
+    for fraction, value in pattern:
+        data[min(int(fraction * len(data)), len(data) - 1)] = value
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))
+
+
+def write_wal(path, n_jobs=3) -> list[dict]:
+    """A healthy little WAL; returns its records as written."""
+    wal = JobWAL(str(path), durable=False)
+    for i in range(n_jobs):
+        wal.submit(
+            {"id": f"j{i:06d}", "spec": {"kind": "sleep", "seconds": 0.01},
+             "tenant": "default", "priority": 0, "state": "queued"}
+        )
+        wal.state(f"j{i:06d}", "running")
+    wal.close()
+    return replay(str(path))
+
+
+# ----------------------------------------------------------------------
+# WAL: damage is quarantined or raises — never silently accepted
+# ----------------------------------------------------------------------
+@settings(max_examples=120, deadline=None, derandomize=True)
+@given(pattern=damage_patterns)
+def test_wal_damage_never_silently_accepted(tmp_path_factory, pattern):
+    path = tmp_path_factory.mktemp("fuzz") / "wal.jsonl"
+    originals = write_wal(path)
+    apply_damage(path, pattern)
+
+    quarantined: list = []
+    try:
+        records = replay(str(path), quarantine=quarantined)
+    except WALError:
+        # Explicit refusal (e.g. damage turned a schema byte into the
+        # legacy version string) is an acceptable loud outcome.
+        return
+    # Every surviving record must be byte-faithful to one we wrote:
+    # altering any content byte breaks the CRC, so a record can only be
+    # accepted verbatim.
+    by_seq = {r["seq"]: r for r in originals}
+    for record in records:
+        assert record == by_seq[record["seq"]], (
+            "damaged record served as genuine"
+        )
+        assert record_crc(record) == record["crc"]
+    for entry in quarantined:
+        assert entry["reason"]
+        assert entry["lineno"] >= 1
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(pattern=damage_patterns)
+def test_wal_reopen_after_damage_keeps_appending(tmp_path_factory, pattern):
+    """A damaged log either refuses loudly or reopens into a usable WAL."""
+    path = tmp_path_factory.mktemp("fuzz") / "wal.jsonl"
+    write_wal(path)
+    apply_damage(path, pattern)
+
+    try:
+        wal = JobWAL(str(path), durable=False)
+    except WALError:
+        return
+    # The reopened WAL must be append-clean: new records land after the
+    # healed tail and a fresh replay accepts them.
+    wal.submit(
+        {"id": "j999999", "spec": {"kind": "sleep", "seconds": 0.01},
+         "tenant": "default", "priority": 0, "state": "queued"}
+    )
+    wal.close()
+    records = replay(str(path))
+    assert any(
+        r["type"] == "submit" and r["job"]["id"] == "j999999" for r in records
+    )
+    seqs = [r["seq"] for r in records]
+    assert seqs == sorted(set(seqs))
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(
+    pattern=damage_patterns,
+    truncate_at=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_wal_damage_plus_torn_tail(tmp_path_factory, pattern, truncate_at):
+    """Damage combined with a mid-record crash truncation stays safe."""
+    path = tmp_path_factory.mktemp("fuzz") / "wal.jsonl"
+    originals = write_wal(path)
+    apply_damage(path, pattern)
+    with open(path, "rb") as fh:
+        data = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(data[: int(truncate_at * len(data))])
+
+    quarantined: list = []
+    try:
+        records = replay(str(path), quarantine=quarantined)
+    except WALError:
+        return
+    by_seq = {r["seq"]: r for r in originals}
+    for record in records:
+        assert record == by_seq[record["seq"]]
+
+
+# ----------------------------------------------------------------------
+# Cache: damage reads as a miss or the genuine payload — never a lie
+# ----------------------------------------------------------------------
+@settings(max_examples=120, deadline=None, derandomize=True)
+@given(pattern=damage_patterns)
+def test_cache_damage_is_a_miss_or_the_truth(tmp_path_factory, pattern):
+    root = tmp_path_factory.mktemp("fuzz-cache")
+    cache = RunCache(str(root))
+    key = {"experiment": "fuzz", "cell": 7}
+    payload = {"rows": [1, 2, 3], "digest": "abc123"}
+    digest = cache.digest_for(key)
+    cache.put(digest, key, payload)
+    apply_damage(cache.path_for(digest), pattern)
+
+    hit, value = RunCache(str(root)).get(digest)
+    if hit:
+        assert value == payload, "bit-rotted cache entry served as genuine"
+
+
+def test_cache_single_flipped_payload_byte_is_always_a_miss(tmp_path):
+    """Exhaustive single-byte sweep over the payload span of one entry.
+
+    Complements the random fuzz above: every single-byte corruption at
+    or after the payload key must read as a miss or as the genuine
+    payload (CRC-32 detects all single-byte errors)."""
+    cache = RunCache(str(tmp_path))
+    key = {"experiment": "sweep"}
+    payload = {"value": 12345.678, "tag": "genuine"}
+    digest = cache.digest_for(key)
+    cache.put(digest, key, payload)
+    path = cache.path_for(digest)
+    with open(path, "rb") as fh:
+        pristine = fh.read()
+    span = pristine.find(b'"payload"')
+    assert span != -1
+    flipped_hits = []
+    for offset in range(span, len(pristine)):
+        damaged = bytearray(pristine)
+        damaged[offset] ^= 0x01
+        with open(path, "wb") as fh:
+            fh.write(bytes(damaged))
+        hit, value = RunCache(str(tmp_path)).get(digest)
+        if hit and value != payload:
+            flipped_hits.append(offset)
+    assert not flipped_hits, (
+        f"payload corruption at offsets {flipped_hits} served as genuine"
+    )
+
+
+# ----------------------------------------------------------------------
+# The CRC primitive itself
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(
+    record=st.dictionaries(
+        st.text(min_size=1, max_size=8).filter(lambda s: s != "crc"),
+        st.one_of(
+            st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+            st.text(max_size=16),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_record_crc_is_content_addressed(record):
+    """The CRC depends only on parsed content, not formatting or the
+    stamp itself — and any single field change moves it."""
+    crc = record_crc(record)
+    stamped = dict(record, crc=crc)
+    assert record_crc(stamped) == crc  # stamp is excluded from itself
+    reparsed = json.loads(json.dumps(stamped, indent=4))
+    assert record_crc(reparsed) == crc  # formatting never matters
+    key = sorted(record)[0]
+    altered = dict(record)
+    altered[key] = "tampered-value"
+    if altered != record:
+        assert record_crc(altered) != crc

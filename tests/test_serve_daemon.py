@@ -251,3 +251,54 @@ def test_unknown_verb_is_an_error(tmp_path):
             client.request("teleport")
         with pytest.raises(ServeError, match="unknown job"):
             client.result("j999999")
+
+
+# ----------------------------------------------------------------------
+# Client connect timeouts and retry
+# ----------------------------------------------------------------------
+def test_client_retries_transient_connect_failures(tmp_path, monkeypatch):
+    """The dial (and only the dial) is retried on transient errors."""
+    import repro.serve.protocol as protocol
+
+    with running_daemon(tmp_path) as (daemon, client):
+        real_connect = protocol._connect
+        failures = {"left": 2}
+
+        def flaky_connect(address, timeout):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise ConnectionRefusedError("simulated restart window")
+            return real_connect(address, timeout)
+
+        monkeypatch.setattr(protocol, "_connect", flaky_connect)
+        retrying = ServeClient(
+            daemon.config.resolved_address(),
+            connect_retries=3,
+            retry_backoff=0.001,
+        )
+        assert retrying.health()["ok"] is True
+        assert failures["left"] == 0
+
+
+def test_client_connect_retries_exhausted_raises_serve_error(tmp_path):
+    client = ServeClient(
+        str(tmp_path / "nobody-home.sock"),
+        connect_timeout=0.2,
+        connect_retries=2,
+        retry_backoff=0.001,
+    )
+    with pytest.raises(ServeError, match="after 3 attempt"):
+        client.health()
+
+
+def test_client_zero_retries_fails_fast(tmp_path):
+    client = ServeClient(
+        str(tmp_path / "nobody-home.sock"),
+        connect_timeout=0.2,
+        connect_retries=0,
+        retry_backoff=0.001,
+    )
+    start = time.monotonic()
+    with pytest.raises(ServeError, match="cannot connect"):
+        client.health()
+    assert time.monotonic() - start < 1.0

@@ -1,8 +1,17 @@
 """Unit tests for the serve WAL (repro.serve.wal): durability semantics."""
 
+import json
+
 import pytest
 
-from repro.serve import JobWAL, WAL_SCHEMA, WALError, fold, replay
+from repro.serve import JobWAL, WAL_SCHEMA, WALError, fold, record_crc, replay
+
+
+def raw_record(**fields):
+    """A CRC-stamped WAL line exactly as an appender would write it."""
+    record = {"schema": WAL_SCHEMA, **fields}
+    record["crc"] = record_crc(record)
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
 
 
 def submit_record(job_id="j000001", state="queued", **extra):
@@ -55,45 +64,89 @@ def test_seq_resumes_after_reopen(tmp_path):
 
 
 # ----------------------------------------------------------------------
-# Crash consistency: torn tail tolerated, mid-file garbage fatal
+# Crash consistency: torn tail healed, damage quarantined, version fatal
 # ----------------------------------------------------------------------
-def test_torn_final_line_is_dropped(tmp_path):
+def test_torn_final_line_is_dropped_and_healed(tmp_path):
     path = str(tmp_path / "wal.jsonl")
     wal = JobWAL(path, durable=False)
     wal.submit(submit_record())
     wal.close()
     with open(path, "a", encoding="utf-8") as fh:
-        fh.write('{"schema": "repro-serve-wal/1", "seq": 2, "ty')  # no \n
+        fh.write('{"schema": "repro-serve-wal/2", "seq": 2, "ty')  # no \n
 
     records = replay(path)
     assert len(records) == 1  # the torn append was never acknowledged
 
-    # Reopening resumes from the surviving seq and the next append
-    # leaves a clean, fully replayable log again.
+    # Reopening truncates the fragment (it would otherwise weld onto
+    # the next append), resumes from the surviving seq, and the next
+    # append leaves a clean, fully replayable log.
     wal = JobWAL(path, durable=False)
+    assert wal.tail_healed
+    assert wal.quarantined == []
     assert wal.seq == 1
     wal.state("j000001", "running", attempts=1)
     wal.close()
-    # The torn fragment is still on disk mid-file now — that IS
-    # corruption from replay's point of view.
-    with pytest.raises(WALError, match="malformed"):
-        replay(path)
+    quarantine = []
+    assert len(replay(path, quarantine=quarantine)) == 2
+    assert quarantine == []
 
 
-def test_mid_file_garbage_raises(tmp_path):
+def test_mid_file_garbage_is_quarantined(tmp_path):
     path = str(tmp_path / "wal.jsonl")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write("not json\n")
-        fh.write('{"schema": "repro-serve-wal/1", "seq": 1, "type": "submit"}\n')
-    with pytest.raises(WALError, match="malformed"):
+        fh.write(raw_record(seq=1, type="submit", job={"job_id": "j000001"}))
+    quarantine = []
+    records = replay(path, quarantine=quarantine)
+    assert [r["seq"] for r in records] == [1]
+    assert len(quarantine) == 1
+    assert quarantine[0]["lineno"] == 1
+    assert "malformed JSON" in quarantine[0]["reason"]
+
+
+def test_crc_mismatch_is_quarantined(tmp_path):
+    path = str(tmp_path / "wal.jsonl")
+    line = raw_record(seq=1, type="submit", job={"job_id": "j000001"})
+    with open(path, "w", encoding="utf-8") as fh:
+        # Flip one payload character: still valid JSON, wrong CRC.
+        fh.write(line.replace("j000001", "j000009"))
+        fh.write(raw_record(seq=2, type="submit", job={"job_id": "j000002"}))
+    quarantine = []
+    records = replay(path, quarantine=quarantine)
+    assert [r["seq"] for r in records] == [2]
+    assert quarantine[0]["reason"] == "CRC mismatch"
+
+
+def test_unstamped_record_is_quarantined(tmp_path):
+    # Valid JSON with our schema but no CRC at all: not a legal v2
+    # record, and (unlike v1) not a recognised legacy version either.
+    path = str(tmp_path / "wal.jsonl")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write('{"schema": "repro-serve-wal/2", "seq": 1, "type": "submit"}\n')
+    quarantine = []
+    assert replay(path, quarantine=quarantine) == []
+    assert quarantine[0]["reason"] == "missing CRC stamp"
+
+
+def test_intact_foreign_schema_raises(tmp_path):
+    # A record whose CRC verifies was written on purpose — a schema
+    # mismatch there is a version problem, not corruption.
+    path = str(tmp_path / "wal.jsonl")
+    record = {"schema": "repro-serve-wal/9", "seq": 1, "type": "submit"}
+    record["crc"] = record_crc(record)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+    with pytest.raises(WALError, match="schema"):
         replay(path)
 
 
-def test_foreign_schema_raises(tmp_path):
+def test_legacy_v1_record_raises(tmp_path):
+    # v1 records never carried CRCs, so they cannot be told apart from
+    # damage by verification alone — the schema string is the tell.
     path = str(tmp_path / "wal.jsonl")
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write('{"schema": "other/9", "seq": 1, "type": "submit"}\n')
-    with pytest.raises(WALError, match="schema"):
+        fh.write('{"schema": "repro-serve-wal/1", "seq": 1, "type": "submit"}\n')
+    with pytest.raises(WALError, match="repro-serve-wal/1"):
         replay(path)
 
 
@@ -102,11 +155,28 @@ def test_non_increasing_seq_raises(tmp_path):
     with open(path, "w", encoding="utf-8") as fh:
         for seq in (1, 1):
             fh.write(
-                '{"schema": "repro-serve-wal/1", "seq": %d, '
-                '"type": "submit", "job": {"job_id": "j%06d"}}\n' % (seq, seq)
+                raw_record(
+                    seq=seq, type="submit", job={"job_id": f"j{seq:06d}"}
+                )
             )
     with pytest.raises(WALError, match="increasing"):
         replay(path)
+
+
+def test_seq_gap_from_quarantined_line_is_tolerated(tmp_path):
+    # A damaged line takes its seq with it; the survivors must still
+    # fold (gaps are expected, regressions are not).
+    path = str(tmp_path / "wal.jsonl")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(raw_record(seq=1, type="submit", job=submit_record()))
+        fh.write("damaged beyond recognition\n")
+        fh.write(raw_record(seq=3, type="state", job_id="j000001",
+                            state="running", attempts=1))
+    quarantine = []
+    records = replay(path, quarantine=quarantine)
+    assert [r["seq"] for r in records] == [1, 3]
+    assert len(quarantine) == 1
+    assert fold(records)["j000001"]["state"] == "running"
 
 
 # ----------------------------------------------------------------------
@@ -135,6 +205,25 @@ def test_fold_rejects_state_for_unknown_job():
             {"schema": WAL_SCHEMA, "seq": 1, "type": "state",
              "job_id": "j000009", "state": "running"},
         ])
+
+
+def test_fold_collects_orphan_states_when_asked():
+    # When replay quarantined lines, a state whose submit was among the
+    # damage must not abort recovery of every other job.
+    orphans = []
+    jobs = fold(
+        [
+            {"schema": WAL_SCHEMA, "seq": 1, "type": "submit",
+             "job": submit_record()},
+            {"schema": WAL_SCHEMA, "seq": 2, "type": "state",
+             "job_id": "j000009", "state": "running"},
+            {"schema": WAL_SCHEMA, "seq": 3, "type": "state",
+             "job_id": "j000001", "state": "running", "attempts": 1},
+        ],
+        orphan_states=orphans,
+    )
+    assert jobs["j000001"]["state"] == "running"
+    assert [o["job_id"] for o in orphans] == ["j000009"]
 
 
 def test_fold_rejects_unknown_record_type():
