@@ -23,7 +23,16 @@ Equivalence is enforced, not assumed:
   dispatched-event count match the reference exactly;
 * anything the replay cannot express (token-ring detection, fault
   injection via ``run_sisc``'s ``injector``, problems without a batched
-  sweeper, empty blocks) falls back to the reference implementation.
+  sweeper, empty blocks) falls back to the reference implementation —
+  *observably*: the reason is logged and exported as the
+  ``lockstep.fallback_reason`` metric (see :func:`run_sisc_batched`).
+
+All four bundled PDE-style problems batch: the synthetic contraction,
+the Brusselator (including its adaptive-skip and optimistic-
+verification machinery) and the linear heat / advection–diffusion
+relaxations each provide a ``batched_chain_sweeper`` built on
+:class:`repro.problems.chain_sweeper.TrajectoryChainSweeper` /
+:class:`repro.numerics.ragged.ChainSegments`.
 
 The engine is memory-lean by construction: no per-rank GridNode /
 Process / generator objects — per-rank state is a handful of numpy
@@ -33,6 +42,7 @@ arrays plus the sweeper's single global state vector.
 from __future__ import annotations
 
 import copy
+import logging
 import math
 from typing import Any
 
@@ -53,6 +63,8 @@ from repro.runtime.tracer import (
 )
 
 __all__ = ["run_sisc_batched"]
+
+logger = logging.getLogger(__name__)
 
 #: FIFO spacing used by :meth:`repro.grid.network.Network.arrival_time`.
 _FIFO_EPSILON = 1e-9
@@ -97,6 +109,41 @@ def _constant_transfer(link: Any, nbytes: float) -> float | None:
     return None
 
 
+def _fall_back(
+    reason: str,
+    metrics: Any,
+    problem: Problem,
+    platform: Platform,
+    config: SolverConfig,
+    host_order: list[int],
+    guard: Any,
+) -> RunResult:
+    """Run the reference engine, making the degradation observable.
+
+    The fallback is 10-50x slower than the replay at scale, so it must
+    never be silent: the reason is logged and, when the caller passes a
+    :class:`repro.obs.MetricsRegistry`, counted under
+    ``lockstep.fallback_reason``.  Only side channels are touched — the
+    returned :class:`~repro.core.records.RunResult` (meta included) is
+    exactly what ``run_sisc`` produces, so fingerprints are unaffected.
+    """
+    logger.info(
+        "lockstep replay unavailable for problem %r (%s); "
+        "falling back to the event-driven engine",
+        problem.name,
+        reason,
+    )
+    if metrics is not None:
+        metrics.counter(
+            "lockstep.fallback_reason", reason=reason, problem=problem.name
+        ).inc()
+    from repro.models.sisc import run_sisc
+
+    return run_sisc(
+        problem, platform, config, host_order=host_order, guard=guard
+    )
+
+
 def run_sisc_batched(
     problem: Problem,
     platform: Platform,
@@ -104,13 +151,18 @@ def run_sisc_batched(
     *,
     host_order: list[int] | None = None,
     guard: Any = None,
+    metrics: Any = None,
 ) -> RunResult:
     """SISC via lockstep round replay; bit-identical to ``run_sisc``.
 
     Falls back to the reference event-driven implementation whenever
     the replay's preconditions do not hold (non-oracle detection, no
     batched sweeper, empty blocks) or the guard's divergence watchdog
-    would have rolled a rank back (the replay has no rollback).
+    would have rolled a rank back (the replay has no rollback).  Every
+    fallback is observable: the reason is logged on the
+    ``repro.models.lockstep`` logger and counted on ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`, optional) as
+    ``lockstep.fallback_reason{reason=..., problem=...}``.
     ``guard`` accepts a :class:`repro.guard.InvariantMonitor`; its
     conservation checks and halt verification run natively against the
     batched state at the reference cadence.
@@ -126,21 +178,20 @@ def run_sisc_batched(
         )
     partition = PartitionRegistry(problem.n_components, n_ranks)
     blocks = [partition.block(rank) for rank in range(n_ranks)]
-    sweeper = None
-    replayable = (
-        config.detection == "oracle"
-        and all(hi > lo for lo, hi in blocks)
+    reason = None
+    if config.detection != "oracle":
+        reason = f"detection:{config.detection}"
+    elif not all(hi > lo for lo, hi in blocks):
+        reason = "empty_block"
+    elif guard is not None and guard.config.stall_horizon is not None:
         # The stall watchdog schedules its own periodic DES events;
         # the replay cannot express them.
-        and (guard is None or guard.config.stall_horizon is None)
-    )
-    if replayable:
-        sweeper = problem.batched_chain_sweeper(blocks)
-    if sweeper is None:
-        from repro.models.sisc import run_sisc
-
-        return run_sisc(
-            problem, platform, config, host_order=host_order, guard=guard
+        reason = "guard:stall_horizon"
+    elif (sweeper := problem.batched_chain_sweeper(blocks)) is None:
+        reason = "no_batched_sweeper"
+    if reason is not None:
+        return _fall_back(
+            reason, metrics, problem, platform, config, host_order, guard
         )
     engine = _LockstepEngine(
         problem, platform, config, host_order, partition, blocks, sweeper, guard
@@ -148,10 +199,14 @@ def run_sisc_batched(
     result = engine.run()
     if result is None:
         # Divergence rollback would have fired: replay cannot express it.
-        from repro.models.sisc import run_sisc
-
-        return run_sisc(
-            problem, platform, config, host_order=host_order, guard=guard
+        return _fall_back(
+            "divergence_watchdog",
+            metrics,
+            problem,
+            platform,
+            config,
+            host_order,
+            guard,
         )
     return result
 

@@ -25,6 +25,7 @@ from repro.numerics.newton import (
 )
 from repro.numerics.euler import implicit_euler_dense, implicit_euler_banded
 from repro.numerics.norms import max_abs_norm, l2_norm, relative_change
+from repro.numerics.ragged import ChainSegments, validate_chain_blocks
 
 __all__ = [
     "BandedMatrix",
@@ -39,4 +40,6 @@ __all__ = [
     "max_abs_norm",
     "l2_norm",
     "relative_change",
+    "ChainSegments",
+    "validate_chain_blocks",
 ]

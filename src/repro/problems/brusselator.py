@@ -53,6 +53,7 @@ import numpy as np
 from repro.numerics.euler import implicit_euler_banded
 from repro.numerics.newton import NewtonOptions, newton_batched_2x2
 from repro.problems.base import IterationResult, Problem
+from repro.problems.chain_sweeper import TrajectoryChainSweeper
 from repro.util.validation import check_positive
 
 __all__ = ["BrusselatorProblem", "BrusselatorState"]
@@ -107,6 +108,10 @@ class BrusselatorProblem(Problem):
         Diffusion parameter (paper: 1/50).
     newton_tol, newton_max_iter:
         Inner Newton controls per (component, step).
+    newton_jacobian_refresh:
+        Forwarded to :class:`~repro.numerics.newton.NewtonOptions.
+        jacobian_refresh` (relevant to modified-Newton consumers; the
+        2x2 kernel itself uses the analytic per-pass Jacobian).
     """
 
     name = "brusselator"
@@ -120,6 +125,7 @@ class BrusselatorProblem(Problem):
         alpha: float = 1.0 / 50.0,
         newton_tol: float = 1e-8,
         newton_max_iter: int = 25,
+        newton_jacobian_refresh: int = 1,
         skip_converged: bool = False,
         skip_threshold: float = 1e-6,
         refresh_period: int = 20,
@@ -144,7 +150,10 @@ class BrusselatorProblem(Problem):
         # active subset once half the components have converged — the
         # iterate() callback below is compaction-aware (accepts idx).
         self.newton = NewtonOptions(
-            tol=newton_tol, max_iter=newton_max_iter, compact_threshold=0.5
+            tol=newton_tol,
+            max_iter=newton_max_iter,
+            compact_threshold=0.5,
+            jacobian_refresh=newton_jacobian_refresh,
         )
         self.skip_converged = bool(skip_converged)
         self.skip_threshold = float(skip_threshold)
@@ -259,19 +268,65 @@ class BrusselatorProblem(Problem):
     ) -> IterationResult:
         old = state.traj
         n = state.n
-        steps = self.n_steps
-        dt, c = self.dt, self.c
-        tol = self.newton.tol
 
         skip = self._skip_mask(state, left_halo, right_halo)
-        active = np.flatnonzero(~skip)
-        m = active.size
 
         # Lagged neighbour trajectories: u/v of components j-1 and j+1.
         u_left = np.vstack([left_halo[0][None, :], old[:-1, 0, :]])
         v_left = np.vstack([left_halo[1][None, :], old[:-1, 1, :]])
         u_right = np.vstack([old[1:, 0, :], right_halo[0][None, :]])
         v_right = np.vstack([old[1:, 1, :], right_halo[1][None, :]])
+
+        new, work = self._sweep_batched(
+            old, u_left, v_left, u_right, v_right, skip, state.lo
+        )
+
+        residuals = np.max(np.abs(new - old), axis=(1, 2))
+        if skip.any() and state.prev_res is not None:
+            # A skipped component's trajectory did not change; keep its
+            # previous (below-threshold) residual rather than a fake 0.
+            residuals[skip] = state.prev_res[skip]
+
+        state.traj = new
+        if self.skip_converged:
+            if state.skip_streak is None:
+                state.skip_streak = np.zeros(n, dtype=np.int64)
+            state.skip_streak[skip] += 1
+            state.skip_streak[~skip] = 0
+            state.prev_res = residuals.copy()
+            state.last_left_halo = np.array(left_halo, copy=True)
+            state.last_right_halo = np.array(right_halo, copy=True)
+        return IterationResult(residuals=residuals, work=work)
+
+    def _sweep_batched(
+        self,
+        old: np.ndarray,
+        u_left: np.ndarray,
+        v_left: np.ndarray,
+        u_right: np.ndarray,
+        v_right: np.ndarray,
+        skip: np.ndarray,
+        lo: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One relaxation sweep over an arbitrary batch of components.
+
+        ``old`` is ``(n, 2, n_steps + 1)``; the neighbour arrays are
+        ``(n, n_steps + 1)`` lagged trajectories (one row per component,
+        regardless of where block boundaries fall — a row may come from
+        a halo or from the adjacent row of ``old``, the arithmetic
+        cannot tell).  Every operation is elementwise per component, so
+        the same code serves one rank's block (``iterate``) and the
+        whole concatenated chain (:class:`_BrusselatorChainSweeper`)
+        with bit-identical per-component results.  Returns ``(new,
+        per-component work)``.
+        """
+        n = old.shape[0]
+        steps = self.n_steps
+        dt, c = self.dt, self.c
+        tol = self.newton.tol
+
+        active = np.flatnonzero(~skip)
+        m = active.size
 
         new = old.copy()  # skipped components keep their trajectories
         # A skipped component still pays the skip test (one unit/sweep).
@@ -323,7 +378,7 @@ class BrusselatorProblem(Problem):
             if k_start <= steps and m <= _SCALAR_SWEEP_MAX:
                 self._sweep_tail_scalar(
                     new, work, old, u_left, v_left, u_right, v_right,
-                    active, verified, state.lo,
+                    active, verified, lo,
                 )
                 k_start = steps + 1  # tail fully handled
             for k in range(k_start, steps + 1):
@@ -371,29 +426,14 @@ class BrusselatorProblem(Problem):
                     bad = int(np.count_nonzero(~result.converged))
                     raise RuntimeError(
                         f"brusselator Newton failed on {bad} component(s) at "
-                        f"step {k} (block starting at {state.lo}); "
+                        f"step {k} (block starting at {lo}); "
                         "reduce dt or raise newton_max_iter"
                     )
                 new[rows, 0, k] = result.u
                 new[rows, 1, k] = result.v
                 work[rows] += result.iterations
 
-        residuals = np.max(np.abs(new - old), axis=(1, 2))
-        if skip.any() and state.prev_res is not None:
-            # A skipped component's trajectory did not change; keep its
-            # previous (below-threshold) residual rather than a fake 0.
-            residuals[skip] = state.prev_res[skip]
-
-        state.traj = new
-        if self.skip_converged:
-            if state.skip_streak is None:
-                state.skip_streak = np.zeros(n, dtype=np.int64)
-            state.skip_streak[skip] += 1
-            state.skip_streak[~skip] = 0
-            state.prev_res = residuals.copy()
-            state.last_left_halo = np.array(left_halo, copy=True)
-            state.last_right_halo = np.array(right_halo, copy=True)
-        return IterationResult(residuals=residuals, work=work)
+        return new, work
 
     def _sweep_tail_scalar(
         self,
@@ -563,6 +603,14 @@ class BrusselatorProblem(Problem):
         return payload[0].copy() if edge == "first" else payload[-1].copy()
 
     # ------------------------------------------------------------------
+    # Rank-batched sweeps (lockstep SISC engine)
+    # ------------------------------------------------------------------
+    def batched_chain_sweeper(
+        self, blocks: list[tuple[int, int]]
+    ) -> "_BrusselatorChainSweeper":
+        return _BrusselatorChainSweeper(self, blocks)
+
+    # ------------------------------------------------------------------
     # Solutions
     # ------------------------------------------------------------------
     def solution(self, state: BrusselatorState) -> np.ndarray:
@@ -616,3 +664,97 @@ class BrusselatorProblem(Problem):
         out[:, 0, :] = traj[:, 0::2].T
         out[:, 1, :] = traj[:, 1::2].T
         return out
+
+
+class _BrusselatorChainSweeper(TrajectoryChainSweeper):
+    """All ranks' Brusselator sweeps as one vectorised global update.
+
+    In a synchronous round every block sweeps against its neighbours'
+    *previous-sweep* boundary trajectories — the same Jacobi-in-space
+    dependency structure as one global sweep over the concatenated
+    ``(N, 2, n_steps + 1)`` state with the Dirichlet edge trajectories
+    pinned.  The sweep arithmetic is
+    :meth:`BrusselatorProblem._sweep_batched`, shared verbatim with
+    :meth:`BrusselatorProblem.iterate`, and every stage (optimistic
+    verification, batched/scalar Newton, work accounting) is
+    elementwise per component, so each block's slice of the global
+    update is bit-identical to the per-rank call.
+
+    The adaptive-skip machinery reduces globally too: a block-boundary
+    component tests ``max|halo - last_halo| < thr`` against its
+    neighbour's incoming trajectory, and that difference *is* the
+    neighbour's boundary component's recorded residual (unchanged
+    trajectory => diff 0 and a retained below-threshold residual;
+    changed => diff equals the residual just recorded), so the
+    per-block test equals the global ``prev_res < thr`` of the
+    neighbouring component.  Domain-edge halos are constant, hence
+    quiet from the second sweep on — exactly when ``prev_res`` first
+    exists and skipping can first engage.  Work sums are integer-valued
+    floats far below 2**53, so the per-rank reductions are exact in any
+    order; residual maxes are exact by construction.
+    """
+
+    def __init__(
+        self, problem: BrusselatorProblem, blocks: list[tuple[int, int]]
+    ) -> None:
+        super().__init__(problem, blocks)
+        self._edge_left = problem.initial_halo(-1)
+        self._edge_right = problem.initial_halo(problem.n_components)
+        self._prev_res: np.ndarray | None = None
+        self._skip_streak: np.ndarray | None = None
+
+    def _global_skip_mask(self) -> np.ndarray:
+        """Global reduction of :meth:`BrusselatorProblem._skip_mask`."""
+        p = self.problem
+        n = p.n_components
+        if (
+            not p.skip_converged
+            or self._prev_res is None
+            or self._skip_streak is None
+        ):
+            return np.zeros(n, dtype=bool)
+        thr = p.skip_threshold
+        quiet = self._prev_res < thr
+        left_neighbour = np.empty(n, dtype=bool)
+        left_neighbour[0] = True  # constant Dirichlet halo: always quiet
+        left_neighbour[1:] = quiet[:-1]
+        right_neighbour = np.empty(n, dtype=bool)
+        right_neighbour[-1] = True
+        right_neighbour[:-1] = quiet[1:]
+        return (
+            quiet
+            & left_neighbour
+            & right_neighbour
+            & (self._skip_streak < p.refresh_period)
+        )
+
+    def _advance(
+        self, old: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        p = self.problem
+        skip = self._global_skip_mask()
+        # Lagged neighbour trajectories with the Dirichlet boundary
+        # trajectories at the domain edges (constant in time).
+        u_left = np.vstack([self._edge_left[0][None, :], old[:-1, 0, :]])
+        v_left = np.vstack([self._edge_left[1][None, :], old[:-1, 1, :]])
+        u_right = np.vstack([old[1:, 0, :], self._edge_right[0][None, :]])
+        v_right = np.vstack([old[1:, 1, :], self._edge_right[1][None, :]])
+        new, work = p._sweep_batched(
+            old, u_left, v_left, u_right, v_right, skip, 0
+        )
+        residuals = np.max(np.abs(new - old), axis=(1, 2))
+        if skip.any() and self._prev_res is not None:
+            residuals[skip] = self._prev_res[skip]
+        return new, residuals, work, skip
+
+    def _commit(
+        self, new: np.ndarray, residuals: np.ndarray, skip: np.ndarray
+    ) -> None:
+        self.traj = new
+        p = self.problem
+        if p.skip_converged:
+            if self._skip_streak is None:
+                self._skip_streak = np.zeros(p.n_components, dtype=np.int64)
+            self._skip_streak[skip] += 1
+            self._skip_streak[~skip] = 0
+            self._prev_res = residuals.copy()

@@ -222,34 +222,25 @@ class _SyntheticChainSweeper:
     operation involved (``max``, elementwise multiply) is elementwise,
     so the partitioning of the array cannot change any result.
 
-    Per-rank reductions preserve bit-identity too: ``max`` is exact
-    under any association, and for equal-width blocks the row-wise
-    pairwise summation of ``reshape(R, m).sum(axis=1)`` matches the
-    contiguous 1-D pairwise sum each rank would compute (unequal blocks
-    fall back to per-slice sums).
+    Per-rank reductions preserve bit-identity too: they go through
+    :class:`repro.numerics.ragged.ChainSegments`, whose ``max`` is
+    exact under any association and whose ``sum`` replays each rank's
+    own contiguous pairwise summation.
     """
 
     def __init__(self, problem: SyntheticProblem, blocks: list[tuple[int, int]]):
-        if not blocks or blocks[0][0] != 0 or blocks[-1][1] != problem.n_components:
-            raise ValueError(f"blocks {blocks!r} do not tile the component space")
-        for (a_lo, a_hi), (b_lo, b_hi) in zip(blocks, blocks[1:]):
-            if a_hi != b_lo:
-                raise ValueError(f"blocks {blocks!r} are not contiguous")
+        from repro.numerics.ragged import ChainSegments
+
         self.problem = problem
-        self.blocks = list(blocks)
-        self.n_ranks = len(blocks)
-        widths = {hi - lo for lo, hi in blocks}
-        self._equal_width = len(widths) == 1
-        self._width = widths.pop() if self._equal_width else 0
-        self._starts = np.array([lo for lo, _ in blocks], dtype=np.intp)
-        self.e = np.concatenate(
-            [problem.initial_state(lo, hi).e for lo, hi in blocks]
-        )
+        self.segments = ChainSegments(blocks, problem.n_components)
+        self.blocks = self.segments.blocks
+        self.n_ranks = self.segments.n_ranks
+        self.e = np.full(problem.n_components, problem.init_error)
         self._edge_left = float(problem.initial_halo(-1)[0])
         self._edge_right = float(problem.initial_halo(problem.n_components)[0])
 
     def component_counts(self) -> np.ndarray:
-        return np.array([hi - lo for lo, hi in self.blocks], dtype=np.intp)
+        return self.segments.counts()
 
     def _advance(self, e: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """One global sweep from ``e``: (new errors, per-component work)."""
@@ -274,17 +265,8 @@ class _SyntheticChainSweeper:
         residual and the pairwise-summed total work of each block.
         """
         new, work = self._advance(self.e)
-        if self._equal_width:
-            shape = (self.n_ranks, self._width)
-            residual = new.reshape(shape).max(axis=1)
-            block_work = work.reshape(shape).sum(axis=1)
-        else:
-            residual = np.maximum.reduceat(new, self._starts)
-            block_work = np.array(
-                [work[lo:hi].sum() for lo, hi in self.blocks]
-            )
         self.e = new
-        return residual, block_work
+        return self.segments.max(new), self.segments.sum(work)
 
     def probe_residual(self) -> float:
         """Max residual one additional sweep would report (state untouched).

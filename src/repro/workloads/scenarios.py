@@ -60,15 +60,53 @@ class Figure5Scenario:
     tolerance: float = 1e-10
     host_speed: float = 200.0
     proc_counts: tuple[int, ...] = (4, 8, 16, 32, 64)
+    #: Which problem drives the sweep: ``"synthetic"`` (default; see the
+    #: module docstring) or ``"brusselator"`` (``repro figure5
+    #: --problem brusselator``) — the real PDE numerics with adaptive
+    #: skipping as the activity mechanism.
+    problem_kind: str = "synthetic"
+    #: Brusselator knobs (``problem_kind="brusselator"`` only).  ``alpha``
+    #: is derived from ``coupling``: the waveform relaxation contracts at
+    #: ``ρ = 2cδt/(1+2cδt)`` with ``c·δt = coupling``, so the sweep count
+    #: stays N-independent instead of degenerating as (N+1)² grows.
+    t_end: float = 10.0
+    n_steps: int = 40
+    coupling: float = 0.4
 
-    def problem(self) -> SyntheticProblem:
-        return SyntheticProblem.with_hard_region(
-            self.n_components,
-            easy_rate=self.easy_rate,
-            hard_rate=self.hard_rate,
-            region=self.hard_region,
-            active_cost=self.active_cost,
-            active_threshold=100.0 * self.tolerance,
+    def brusselator_alpha(self) -> float:
+        """Diffusion ``α`` giving ``c·δt = coupling`` at this ``N``."""
+        return (
+            self.coupling
+            * self.n_steps
+            / (self.t_end * (self.n_components + 1) ** 2)
+        )
+
+    def problem(self) -> SyntheticProblem | BrusselatorProblem:
+        if self.problem_kind == "synthetic":
+            return SyntheticProblem.with_hard_region(
+                self.n_components,
+                easy_rate=self.easy_rate,
+                hard_rate=self.hard_rate,
+                region=self.hard_region,
+                active_cost=self.active_cost,
+                active_threshold=100.0 * self.tolerance,
+            )
+        if self.problem_kind == "brusselator":
+            # skip_converged is the Brusselator's native activity
+            # mechanism (converged components verify cheaply / skip);
+            # the threshold sits two decades above the tolerance, same
+            # margin as the synthetic active_threshold.
+            return BrusselatorProblem(
+                self.n_components,
+                t_end=self.t_end,
+                n_steps=self.n_steps,
+                alpha=self.brusselator_alpha(),
+                skip_converged=True,
+                skip_threshold=100.0 * self.tolerance,
+            )
+        raise ValueError(
+            f"unknown problem_kind {self.problem_kind!r}; "
+            "choose 'synthetic' or 'brusselator'"
         )
 
     def platform(self, n_procs: int) -> Platform:
@@ -126,6 +164,24 @@ class Figure5Scenario:
             tolerance=1e-8,
         )
 
+    @classmethod
+    def scale_brusselator(cls) -> "Figure5Scenario":
+        """``repro figure5 --scale --problem brusselator``.
+
+        The scale sweep on the real PDE numerics.  The component count
+        drops an order of magnitude from the synthetic scale preset:
+        every Brusselator component carries a full ``(2, n_steps + 1)``
+        trajectory and a per-sweep Newton solve, so the synthetic size
+        would move the cost from the scheduler (what the sweep measures)
+        to the numpy kernels.
+        """
+        return cls(
+            n_components=16_384,
+            proc_counts=(64, 128, 256, 512, 1024),
+            tolerance=1e-8,
+            problem_kind="brusselator",
+        )
+
 
 @dataclass(frozen=True)
 class ScaleScenario:
@@ -149,17 +205,48 @@ class ScaleScenario:
     tolerance: float = 1e-8
     host_speed: float = 1000.0
     max_iterations: int = 500_000
+    #: ``"synthetic"`` (default) or ``"brusselator"``: the real PDE
+    #: numerics through the same lockstep/event-driven ladder.
+    problem_kind: str = "synthetic"
+    #: Brusselator knobs; ``alpha`` derives from ``coupling`` exactly as
+    #: in :meth:`Figure5Scenario.brusselator_alpha`, keeping the sweep
+    #: count N-independent across grid points.
+    t_end: float = 10.0
+    n_steps: int = 40
+    coupling: float = 0.4
 
     @property
     def n_components(self) -> int:
         return self.n_ranks * self.components_per_rank
 
-    def problem(self) -> SyntheticProblem:
-        return SyntheticProblem.with_hard_region(
-            self.n_components,
-            easy_rate=self.easy_rate,
-            hard_rate=self.hard_rate,
-            region=self.hard_region,
+    def brusselator_alpha(self) -> float:
+        """Diffusion ``α`` giving ``c·δt = coupling`` at this ``N``."""
+        return (
+            self.coupling
+            * self.n_steps
+            / (self.t_end * (self.n_components + 1) ** 2)
+        )
+
+    def problem(self) -> SyntheticProblem | BrusselatorProblem:
+        if self.problem_kind == "synthetic":
+            return SyntheticProblem.with_hard_region(
+                self.n_components,
+                easy_rate=self.easy_rate,
+                hard_rate=self.hard_rate,
+                region=self.hard_region,
+            )
+        if self.problem_kind == "brusselator":
+            return BrusselatorProblem(
+                self.n_components,
+                t_end=self.t_end,
+                n_steps=self.n_steps,
+                alpha=self.brusselator_alpha(),
+                skip_converged=True,
+                skip_threshold=100.0 * self.tolerance,
+            )
+        raise ValueError(
+            f"unknown problem_kind {self.problem_kind!r}; "
+            "choose 'synthetic' or 'brusselator'"
         )
 
     def platform(self) -> Platform:
@@ -181,6 +268,36 @@ class ScaleScenario:
     def flagship(cls) -> "ScaleScenario":
         """The headline BENCH_scale point: 1024 ranks, >10⁶ components."""
         return cls(n_ranks=1024, components_per_rank=1024)
+
+    @classmethod
+    def brusselator_smoke(cls) -> "ScaleScenario":
+        """CI scale-smoke on the real PDE: 256 ranks, small blocks."""
+        return cls(problem_kind="brusselator", n_ranks=256,
+                   components_per_rank=4)
+
+    @classmethod
+    def brusselator_gate(cls) -> "ScaleScenario":
+        """The ``--check``-gated Brusselator point: 1024 ranks × 4.
+
+        Tiny per-rank blocks keep the round scheduler-bound, so the
+        gate measures the rank-batched replay, not the Newton kernel.
+        """
+        return cls(problem_kind="brusselator", n_ranks=1024,
+                   components_per_rank=4)
+
+    @classmethod
+    def brusselator_flagship(cls) -> "ScaleScenario":
+        """The headline Brusselator point: 4096 ranks through lockstep."""
+        return cls(problem_kind="brusselator", n_ranks=4096,
+                   components_per_rank=8)
+
+    @classmethod
+    def synthetic_10k(cls) -> "ScaleScenario":
+        """The 10k-rank synthetic point (lockstep-only in the bench:
+        an event-driven run at this width would take minutes for no
+        extra information — the 1024-rank points already anchor the
+        cross-engine comparison)."""
+        return cls(n_ranks=10_240, components_per_rank=100)
 
 
 @dataclass(frozen=True)

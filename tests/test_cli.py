@@ -39,6 +39,15 @@ def test_scale_flag_selects_1024_rank_preset():
         parser.parse_args(["models", "--scale"])
 
 
+def test_figure5_problem_flag_parses():
+    parser = build_parser()
+    args = parser.parse_args(["figure5", "--problem", "brusselator"])
+    assert args.problem == "brusselator"
+    assert parser.parse_args(["figure5"]).problem == "synthetic"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure5", "--problem", "nope"])
+
+
 def test_ablations_unknown_key_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["ablations", "--only", "nonsense"])

@@ -25,6 +25,9 @@ from repro.models import run_sisc, run_sisc_batched
 from repro.models.sisc import _sisc_process
 from repro.analysis.perf import run_fingerprint
 from repro.problems import SyntheticProblem
+from repro.problems.advection import AdvectionDiffusionProblem
+from repro.problems.brusselator import BrusselatorProblem
+from repro.problems.heat import HeatProblem
 
 
 def hetero_platform(speeds=(200.0, 130.0, 100.0, 170.0), latency=0.02):
@@ -122,6 +125,31 @@ CASES = {
         hetero_platform(),
         SolverConfig(tolerance=1e-8),
     ),
+    # The real PDE problems through their rank-batched Newton / linear
+    # chain sweepers (not the synthetic closed form).
+    "brusselator": (
+        BrusselatorProblem(24, t_end=1.0, n_steps=8),
+        hetero_platform(),
+        SolverConfig(tolerance=1e-6),
+    ),
+    "brusselator_skip": (
+        BrusselatorProblem(
+            24, t_end=1.0, n_steps=8,
+            skip_converged=True, skip_threshold=1e-4, refresh_period=5,
+        ),
+        hetero_platform(),
+        SolverConfig(tolerance=1e-6),
+    ),
+    "heat": (
+        HeatProblem(32, n_steps=10),
+        hetero_platform(),
+        SolverConfig(tolerance=1e-7),
+    ),
+    "advection": (
+        AdvectionDiffusionProblem(32, n_steps=10),
+        hetero_platform(),
+        SolverConfig(tolerance=1e-7),
+    ),
 }
 
 
@@ -181,6 +209,59 @@ def test_lockstep_guard_parity(name):
     v_fast = g_fast.verify_halt()
     assert v_ref == v_fast
     assert run_fingerprint(ref) == run_fingerprint(fast)
+
+
+def test_lockstep_brusselator_fingerprint_at_256_ranks():
+    """The CI-sized version of the BENCH_scale Brusselator criterion:
+    256 ranks of real PDE numerics, lockstep vs event-driven, identical
+    fingerprint at the round cap."""
+    from dataclasses import replace
+
+    from repro.workloads import ScaleScenario
+
+    scenario = ScaleScenario.brusselator_smoke()
+    cfg = replace(scenario.solver_config(), max_iterations=12)
+    fast = run_sisc_batched(scenario.problem(), scenario.platform(), cfg)
+    assert fast.meta["engine"] == "lockstep"
+    ref = run_sisc(scenario.problem(), scenario.platform(), cfg)
+    assert run_fingerprint(ref) == run_fingerprint(fast)
+
+
+def test_lockstep_fallback_is_observable(caplog):
+    """A fallback must be loud: logged, counted on the metrics registry
+    with the gate's reason string — and still fingerprint-identical."""
+    import logging
+
+    from repro.obs import MetricsRegistry
+
+    problem, platform = hard_problem(), hetero_platform()
+    cfg = SolverConfig(tolerance=1e-8, detection="token_ring")
+    registry = MetricsRegistry()
+    with caplog.at_level(logging.INFO, logger="repro.models.lockstep"):
+        fast = run_sisc_batched(problem, platform, cfg, metrics=registry)
+    assert fast.meta.get("engine") != "lockstep"
+    counter = registry.counter(
+        "lockstep.fallback_reason",
+        reason="detection:token_ring",
+        problem=problem.name,
+    )
+    assert counter.value == 1
+    assert any(
+        "falling back to the event-driven engine" in r.getMessage()
+        for r in caplog.records
+    )
+    ref = run_sisc(problem, platform, cfg)
+    assert run_fingerprint(ref) == run_fingerprint(fast)
+
+
+def test_lockstep_no_fallback_counter_on_the_fast_path():
+    from repro.obs import MetricsRegistry
+
+    problem, platform, cfg = CASES["hetero"]
+    registry = MetricsRegistry()
+    fast = run_sisc_batched(problem, platform, cfg, metrics=registry)
+    assert fast.meta["engine"] == "lockstep"
+    assert len(registry) == 0  # nothing counted on the fast path
 
 
 def test_lockstep_falls_back_without_oracle_detection():

@@ -94,6 +94,24 @@ def test_indexed_queue_matches_legacy_heap_at_scale():
     )
 
 
+def test_brusselator_guard_stays_on_at_scale():
+    # Same regression fence for the real PDE path: a guarded 256-rank
+    # Brusselator lockstep run (rank-batched Newton sweeps, adaptive
+    # skipping on) must not fall back, and every check must pass.
+    scenario = ScaleScenario.brusselator_smoke()
+    guard = InvariantMonitor(GuardConfig(check_every=64))
+    result = run_sisc_batched(
+        scenario.problem(),
+        scenario.platform(),
+        _capped_config(scenario),
+        guard=guard,
+    )
+    assert result.meta["engine"] == "lockstep"
+    assert guard.checks_run > 0
+    assert guard.stats()["divergence_rollbacks"] == 0
+    assert guard.verify_halt()
+
+
 def test_guard_stays_on_at_scale():
     # The guard regression the benchmark is not allowed to buy speed
     # with: a guarded 128-rank lockstep run must not fall back, and

@@ -116,3 +116,42 @@ def test_scale_scenario_presets():
 def test_figure5_scale_preset_reaches_1024_ranks():
     assert Figure5Scenario.scale().proc_counts[-1] == 1024
     assert Figure5Scenario.scale().n_components > Figure5Scenario.quick().n_components
+
+
+def test_problem_kind_dispatch():
+    import dataclasses
+
+    from repro.problems.brusselator import BrusselatorProblem
+    from repro.workloads import ScaleScenario
+
+    for sc in (
+        dataclasses.replace(Figure5Scenario.quick(), problem_kind="brusselator"),
+        ScaleScenario.brusselator_smoke(),
+    ):
+        prob = sc.problem()
+        assert isinstance(prob, BrusselatorProblem)
+        assert prob.n_components == sc.n_components
+        assert prob.skip_converged  # the activity mechanism
+        assert prob.skip_threshold == pytest.approx(100 * sc.tolerance)
+        # alpha derives from the coupling target: c * dt == coupling,
+        # keeping the relaxation's contraction rate N-independent.
+        assert prob.c * prob.dt == pytest.approx(sc.coupling)
+    with pytest.raises(ValueError, match="problem_kind"):
+        dataclasses.replace(Figure5Scenario(), problem_kind="nope").problem()
+    with pytest.raises(ValueError, match="problem_kind"):
+        ScaleScenario(problem_kind="nope").problem()
+
+
+def test_scale_scenario_brusselator_presets():
+    from repro.workloads import ScaleScenario
+
+    gate = ScaleScenario.brusselator_gate()
+    flagship = ScaleScenario.brusselator_flagship()
+    assert gate.n_ranks == 1024
+    assert flagship.n_ranks >= 4096
+    assert flagship.problem_kind == gate.problem_kind == "brusselator"
+    ten_k = ScaleScenario.synthetic_10k()
+    assert ten_k.n_ranks >= 10_000
+    assert ten_k.problem_kind == "synthetic"
+    assert Figure5Scenario.scale_brusselator().proc_counts[-1] == 1024
+    assert Figure5Scenario.scale_brusselator().problem_kind == "brusselator"
